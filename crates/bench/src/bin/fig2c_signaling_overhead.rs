@@ -1,0 +1,62 @@
+//! Fig 2(c): as MME1's overload grows, the reactive reassignment
+//! signaling inflates the *actual* load on both MME1 and MME2 relative
+//! to the IDEAL case where MME2 simply absorbed the excess for free.
+
+use scale_bench::{emit, Row};
+use scale_sim::{
+    placement, Assignment, DcSim, ProcCosts, Procedure, ProcedureMix, ReassignPolicy,
+};
+
+/// Run at `1 + overload_pct/100` of one MME's capacity, all pinned to
+/// MME1; returns (util MME1, util MME2) in percent.
+fn run(overload_pct: f64, reassign: bool) -> (f64, f64) {
+    let capacity_rps = 1.0 / ProcCosts::default().service_request;
+    let rate = capacity_rps * (1.0 + overload_pct / 100.0);
+    let n_devices = 400;
+    let duration = 20.0;
+    let rates = scale_sim::uniform_rates(n_devices, rate);
+    let stream = scale_sim::device_stream(
+        11,
+        &rates,
+        ProcedureMix::only(Procedure::ServiceRequest),
+        duration,
+    );
+    let mut dc = DcSim::new(2, Assignment::Pinned, 1.0)
+        .with_holders(placement::pinned_by(&vec![0; n_devices]));
+    if reassign {
+        dc.reassign = Some(ReassignPolicy {
+            threshold_s: 0.05,
+            signaling_s: ProcCosts::default().service_request * 2.0,
+        });
+    } else {
+        // IDEAL: requests above capacity flow to MME2 with no overhead.
+        dc.assignment = Assignment::LeastLoaded;
+        dc.holders = (0..n_devices).map(|_| vec![0, 1]).collect();
+    }
+    for r in &stream {
+        dc.submit(*r);
+    }
+    (
+        dc.mean_utilization(0, duration) * 100.0,
+        dc.mean_utilization(1, duration) * 100.0,
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for overload in [10.0, 20.0, 30.0, 40.0, 50.0] {
+        let (g1, g2) = run(overload, true);
+        let (i1, i2) = run(overload, false);
+        rows.push(Row::new("mme1-3gpp", overload, g1));
+        rows.push(Row::new("mme2-3gpp", overload, g2));
+        rows.push(Row::new("mme1-ideal", overload, i1));
+        rows.push(Row::new("mme2-ideal", overload, i2));
+    }
+    emit(
+        "fig2c_signaling_overhead",
+        "Actual load under reactive reassignment vs IDEAL absorption",
+        "overload percentage on MME1",
+        "actual CPU load (%)",
+        &rows,
+    );
+}

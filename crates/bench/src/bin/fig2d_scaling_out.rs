@@ -1,0 +1,69 @@
+//! Fig 2(d): legacy scale-out. MME1 is overloaded; MME2 is instantiated
+//! at t = 10 s but — per 3GPP — receives only *unregistered* devices
+//! (10 % of requests). Delays take tens of seconds to converge because
+//! the existing load can never rebalance.
+
+use scale_bench::{emit, ms, Row};
+use scale_sim::{placement, Assignment, DcSim, Procedure, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let duration = 60.0;
+    let rate = 640.0; // just above one MME's service-request capacity
+    let mme2_start = 10.0;
+    let new_device_fraction = 0.10;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let n_existing = 500;
+    let mut dc = DcSim::new(2, Assignment::Pinned, 1.0)
+        .with_holders(placement::pinned_by(&vec![0; n_existing]));
+
+    // Per-5s-bucket delay accumulation per MME.
+    let bucket = 5.0;
+    let n_buckets = (duration / bucket) as usize;
+    let mut sums = vec![[0.0f64; 2]; n_buckets];
+    let mut counts = vec![[0u64; 2]; n_buckets];
+
+    let mut arrivals = scale_sim::poisson_arrivals(&mut rng, rate, duration);
+    arrivals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for t in arrivals {
+        let is_new = rng.gen_bool(new_device_fraction);
+        let (device, vm) = if is_new && t >= mme2_start {
+            // Unregistered device: the eNodeB aggressively assigns it to
+            // the newly added (low-weight-boosted) MME2.
+            let d = dc.register_device(vec![1]);
+            (d, 1)
+        } else if is_new {
+            let d = dc.register_device(vec![0]);
+            (d, 0)
+        } else {
+            (rng.gen_range(0..n_existing), 0)
+        };
+        let delay = dc.submit(Request {
+            time: t,
+            device,
+            procedure: Procedure::ServiceRequest,
+        });
+        let b = ((t / bucket) as usize).min(n_buckets - 1);
+        sums[b][vm] += delay;
+        counts[b][vm] += 1;
+    }
+
+    let mut rows = Vec::new();
+    for b in 0..n_buckets {
+        let t = b as f64 * bucket + bucket / 2.0;
+        for (vm, label) in [(0usize, "mme1"), (1, "mme2")] {
+            if counts[b][vm] > 0 {
+                rows.push(Row::new(label, t, ms(sums[b][vm] / counts[b][vm] as f64)));
+            }
+        }
+    }
+    emit(
+        "fig2d_scaling_out",
+        "Legacy scale-out: MME2 added at t=10 s receives only new devices",
+        "time (s)",
+        "mean connectivity delay (ms)",
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! Fig 6(a): the appendix model's normalized cost vs per-VM arrival
+//! rate for R = 1, 2, 3 — replicating once (R = 2) removes most of the
+//! delay; R = 3 adds little.
+
+use scale_analysis::{expected_cost, ModelParams};
+use scale_bench::{emit, Row};
+
+fn main() {
+    let params = ModelParams::default();
+    let mut rows = Vec::new();
+    for r in 1..=3u32 {
+        for i in 1..=20 {
+            let lambda = i as f64 * 0.05;
+            let cost = expected_cost(lambda, 1.0, r, params);
+            rows.push(Row::new(format!("replication={r}"), lambda, cost));
+        }
+    }
+    // Echo the paper's key ratio at high load.
+    let c1 = expected_cost(0.9, 1.0, 1, params);
+    let c2 = expected_cost(0.9, 1.0, 2, params);
+    let c3 = expected_cost(0.9, 1.0, 3, params);
+    println!("# at λ=0.9: C(R=1)={c1:.4} C(R=2)={c2:.4} C(R=3)={c3:.4}");
+    println!(
+        "# benefit share of R=2: {:.1}%",
+        100.0 * (c1 - c2) / (c1 - c3).max(1e-12)
+    );
+    emit(
+        "fig6a_model_replication",
+        "Model: normalized request cost vs arrival rate (Eq 10)",
+        "arrival rate (requests/second)",
+        "normalized cost",
+        &rows,
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig 6(b): under memory pressure (not every device can afford R = 2),
+//! selecting which devices get the extra replica in proportion to their
+//! access probability beats random selection — ~5× at load 0.85 in the
+//! paper's configuration.
+
+use scale_analysis::{memory_constrained_cost, MemoryParams, ModelParams, ReplicaStrategy};
+use scale_bench::{emit, Row};
+
+fn main() {
+    let params = ModelParams::default();
+    // Population: 80 % nearly-dormant IoT devices, 20 % chatty.
+    let mut weights = vec![0.05; 8000];
+    weights.extend(vec![0.95; 2000]);
+    let mem = MemoryParams {
+        vms: 10,
+        slots_per_vm: 1200.0, // 12k slots / 10k devices → R' = 1
+        desired_r: 2,
+    };
+
+    let mut rows = Vec::new();
+    for i in 0..=12 {
+        let lambda = 0.7 + i as f64 * 0.025;
+        let unaware =
+            memory_constrained_cost(lambda, &weights, mem, ReplicaStrategy::AccessUnaware, params);
+        let aware =
+            memory_constrained_cost(lambda, &weights, mem, ReplicaStrategy::AccessAware, params);
+        rows.push(Row::new("random-replication", lambda, unaware));
+        rows.push(Row::new("probabilistic-replication", lambda, aware));
+    }
+    let u = memory_constrained_cost(0.85, &weights, mem, ReplicaStrategy::AccessUnaware, params);
+    let a = memory_constrained_cost(0.85, &weights, mem, ReplicaStrategy::AccessAware, params);
+    println!("# at load 0.85: random={u:.4} probabilistic={a:.4} ratio={:.2}x", u / a.max(1e-12));
+    emit(
+        "fig6b_model_access_aware",
+        "Model: random vs access-aware replica selection under memory pressure (Eq 11-13)",
+        "arrival rate (requests/second)",
+        "normalized cost",
+        &rows,
+    );
+}

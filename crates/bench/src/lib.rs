@@ -1,0 +1,60 @@
+//! # scale-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (see DESIGN.md §5 for the index) plus criterion micro-benchmarks.
+//! Each binary prints the series the paper reports and writes
+//! `results/<experiment>.json`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// One output row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub series: String,
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Row {
+    pub fn new(series: impl Into<String>, x: f64, y: f64) -> Self {
+        Row { series: series.into(), x, y }
+    }
+}
+
+/// Write rows to `results/<name>.json` (repo-root relative; falls back
+/// to CWD) and echo a plot-ready table to stdout.
+pub fn emit(name: &str, title: &str, xlabel: &str, ylabel: &str, rows: &[Row]) {
+    println!("# {name}: {title}");
+    println!("# x = {xlabel}, y = {ylabel}");
+    // Group rows by series (stable: x order within a series preserved).
+    let mut sorted: Vec<&Row> = rows.iter().collect();
+    sorted.sort_by(|a, b| a.series.cmp(&b.series));
+    let mut last = "";
+    for row in sorted {
+        if row.series != last {
+            println!("\n## series: {}", row.series);
+            last = &row.series;
+        }
+        println!("{:>12.4} {:>14.6}", row.x, row.y);
+    }
+    println!();
+    let dir = if Path::new("results").exists() { "results" } else { "." };
+    let path = format!("{dir}/{name}.json");
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warn: could not write {path}: {e}");
+            } else {
+                println!("# wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warn: serialize failed: {e}"),
+    }
+}
+
+/// Milliseconds from seconds, for printed tables.
+pub fn ms(seconds: f64) -> f64 {
+    seconds * 1000.0
+}

@@ -1,0 +1,720 @@
+//! The in-process SCALE DC: one MLB fronting an elastic MMP cluster —
+//! the complete system of Fig 4/Fig 5(a), pluggable into the
+//! `scale-epc` harness as a [`ControlPlane`].
+//!
+//! Responsibilities:
+//! * route every S1AP/S11/S6a message to an MMP (MLB logic, §4.6);
+//! * replicate device state to its ring holders on each Active→Idle
+//!   transition (§4.3.2);
+//! * run epochs: access-frequency profiling, access-aware allocation
+//!   (§4.5.1), Eq-1 provisioning, elastic scale-out/in with consistent-
+//!   hash state transfer (§4.4).
+
+use crate::mlb::{MlbRouter, VmId};
+use crate::provision::{provision, AllocationPolicy, LoadEstimator, Provisioning, VmCapacity};
+use scale_epc::ControlPlane;
+use scale_mme::{EcmState, Incoming, MmeConfig, MmeCore, MmeError, Outgoing};
+use scale_nas::{EmmMessage, Guti, MobileId, Plmn};
+use scale_s1ap::S1apPdu;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of one SCALE DC.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    pub plmn: Plmn,
+    pub mme_group_id: u16,
+    /// The MME code the MLB presents to eNodeBs.
+    pub mme_code: u8,
+    /// Tokens per MMP VM on the hash ring (1 = the token-less baseline
+    /// of Fig 10a).
+    pub tokens: u32,
+    /// Replication factor R (2 in SCALE).
+    pub replication: usize,
+    /// Per-VM capacity for provisioning (Eq 1).
+    pub capacity: VmCapacity,
+    /// EWMA smoothing for the epoch load estimator.
+    pub load_alpha: f64,
+    /// Access-frequency EWMA per device (§4.5).
+    pub access_alpha: f64,
+    /// Access-aware replication policy; `None` disables access awareness
+    /// (every device gets R copies — the β = 1 baseline).
+    pub allocation: Option<AllocationPolicy>,
+    /// Initial number of MMP VMs.
+    pub initial_vms: u32,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            plmn: Plmn::test(),
+            mme_group_id: 0x8001,
+            mme_code: 1,
+            tokens: 5,
+            replication: 2,
+            capacity: VmCapacity {
+                requests_per_epoch: 10_000,
+                states: 25_000,
+            },
+            load_alpha: 0.5,
+            access_alpha: 0.5,
+            allocation: None,
+            initial_vms: 2,
+        }
+    }
+}
+
+/// Cluster-level counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DcStats {
+    pub messages: u64,
+    /// State copies pushed to replicas at Idle transitions.
+    pub replications: u64,
+    /// Requests that reached a VM without the state and were forwarded.
+    pub forwards: u64,
+    /// States moved during epoch rebalancing.
+    pub transfers: u64,
+    pub epochs: u64,
+}
+
+/// Report from one epoch run.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    pub provisioning: Provisioning,
+    pub vms_before: usize,
+    pub vms_after: usize,
+    pub beta: f64,
+    pub registered_devices: u64,
+    pub observed_load: f64,
+    pub states_transferred: u64,
+    pub single_copy_devices: u64,
+}
+
+/// One SCALE data center.
+pub struct ScaleDc {
+    pub config: ScaleConfig,
+    pub mlb: MlbRouter,
+    mmps: BTreeMap<VmId, MmeCore>,
+    /// Devices restricted to a single (master) copy this epoch.
+    single_copy: BTreeSet<u32>,
+    load_estimator: LoadEstimator,
+    window_messages: u64,
+    pub stats: DcStats,
+}
+
+impl ScaleDc {
+    pub fn new(config: ScaleConfig) -> Self {
+        let mut dc = ScaleDc {
+            mlb: MlbRouter::new(
+                config.tokens,
+                config.replication,
+                config.plmn,
+                config.mme_group_id,
+                config.mme_code,
+            ),
+            mmps: BTreeMap::new(),
+            single_copy: BTreeSet::new(),
+            load_estimator: LoadEstimator::new(config.load_alpha, 0.0),
+            window_messages: 0,
+            stats: DcStats::default(),
+            config,
+        };
+        for _ in 0..dc.config.initial_vms {
+            dc.add_mmp();
+        }
+        dc
+    }
+
+    /// Current MMP VM count.
+    pub fn vm_count(&self) -> usize {
+        self.mmps.len()
+    }
+
+    /// Ids of the live MMPs.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.mmps.keys().copied().collect()
+    }
+
+    /// Total registered devices (each counted once, at its master).
+    pub fn device_count(&self) -> usize {
+        self.device_weights().len()
+    }
+
+    /// Contexts held by one VM (masters + replicas), for load inspection.
+    pub fn states_on(&self, vm: VmId) -> usize {
+        self.mmps.get(&vm).map(|m| m.context_count()).unwrap_or(0)
+    }
+
+    /// Messages processed by one VM since startup.
+    pub fn handled_by(&self, vm: VmId) -> u64 {
+        self.mmps
+            .get(&vm)
+            .map(|m| m.stats.messages_processed)
+            .unwrap_or(0)
+    }
+
+    /// Spawn a new MMP VM, assign it a free 8-bit id and add it to the
+    /// ring (its token arcs immediately start owning keys).
+    pub fn add_mmp(&mut self) -> VmId {
+        let vm = (1..=255u32)
+            .find(|id| !self.mmps.contains_key(id))
+            .expect("MMP id space exhausted");
+        let engine = MmeCore::new(MmeConfig {
+            plmn: self.config.plmn,
+            mme_group_id: self.config.mme_group_id,
+            mme_code: self.config.mme_code,
+            mme_name: format!("mmp-{vm}"),
+            vm_id: vm as u8,
+            ..MmeConfig::default()
+        });
+        self.mmps.insert(vm, engine);
+        self.mlb.add_mmp(vm);
+        vm
+    }
+
+    /// Decommission an MMP VM, first transferring every state it holds
+    /// to the new ring owners.
+    pub fn remove_mmp(&mut self, vm: VmId) -> bool {
+        if !self.mmps.contains_key(&vm) || self.mmps.len() == 1 {
+            return false;
+        }
+        self.mlb.remove_mmp(vm);
+        // With the VM off the ring, re-home everything it held.
+        let gutis: Vec<Guti> = self
+            .mmps
+            .get(&vm)
+            .map(|m| m.contexts().map(|c| c.guti).collect())
+            .unwrap_or_default();
+        for guti in gutis {
+            self.sync_holders(guti, Some(vm));
+        }
+        self.mmps.remove(&vm);
+        true
+    }
+
+    /// Ensure `guti`'s state lives on exactly its desired holders.
+    /// `source` (if given) is a VM known to hold a fresh copy.
+    fn sync_holders(&mut self, guti: Guti, source: Option<VmId>) {
+        let m_tmsi = guti.m_tmsi;
+        let mut desired = self.mlb.holders(m_tmsi);
+        if self.single_copy.contains(&m_tmsi) {
+            desired.truncate(1);
+        }
+        // Find a current holder to export from.
+        let from = source
+            .filter(|v| self.mmps.get(v).map(|m| m.context(&guti).is_some()) == Some(true))
+            .or_else(|| {
+                self.mmps
+                    .iter()
+                    .find(|(_, m)| m.context(&guti).is_some())
+                    .map(|(v, _)| *v)
+            });
+        let Some(from) = from else { return };
+        let Some(blob) = self.mmps.get(&from).and_then(|m| m.export_state(&guti)) else {
+            return;
+        };
+        for vm in self.vm_ids() {
+            let wanted = desired.contains(&vm);
+            let has = self
+                .mmps
+                .get(&vm)
+                .map(|m| m.context(&guti).is_some())
+                .unwrap_or(false);
+            if wanted {
+                // Refresh (or create) the copy.
+                if vm != from || !has {
+                    if let Some(engine) = self.mmps.get_mut(&vm) {
+                        let _ = engine.import_state(blob.clone());
+                        self.stats.replications += 1;
+                    }
+                } else {
+                    // `from` already holds the fresh copy.
+                }
+            } else if has {
+                if let Some(engine) = self.mmps.get_mut(&vm) {
+                    engine.remove_context(&guti);
+                }
+            }
+        }
+    }
+
+    /// Unique devices and their access frequencies.
+    fn device_weights(&self) -> BTreeMap<u32, f64> {
+        let mut out = BTreeMap::new();
+        for engine in self.mmps.values() {
+            for ctx in engine.contexts() {
+                out.entry(ctx.guti.m_tmsi).or_insert(ctx.access_freq);
+            }
+        }
+        out
+    }
+
+    /// Pick the VM to process an Idle-mode request for `m_tmsi`: the
+    /// least-loaded replica holder that actually has the state, falling
+    /// back to the master (counting a forward, §4.6 case 2).
+    fn route_with_state(&mut self, m_tmsi: u32) -> Option<VmId> {
+        let guti = self.mlb.guti(m_tmsi);
+        let chosen = self.mlb.route_idle_transition(m_tmsi)?;
+        let has = |dc: &Self, vm: VmId| {
+            dc.mmps
+                .get(&vm)
+                .map(|m| m.context(&guti).is_some())
+                .unwrap_or(false)
+        };
+        if has(self, chosen) {
+            return Some(chosen);
+        }
+        self.stats.forwards += 1;
+        // Forward along the holder list, then anywhere the state lives.
+        for vm in self.mlb.holders(m_tmsi) {
+            if has(self, vm) {
+                return Some(vm);
+            }
+        }
+        self.mmps
+            .iter()
+            .find(|(_, m)| m.context(&guti).is_some())
+            .map(|(v, _)| *v)
+    }
+
+    /// Route one inbound event to `(vm, guti_hint)`.
+    fn route(&mut self, ev: &Incoming) -> Result<(VmId, Option<u32>), MmeError> {
+        match ev {
+            Incoming::S1ap { pdu, .. } => match pdu {
+                S1apPdu::InitialUeMessage {
+                    nas_pdu, s_tmsi, ..
+                } => {
+                    // Protected initial NAS (Idle-mode TAU/Detach):
+                    // route by the S-TMSI to a state holder.
+                    if scale_nas::is_protected(nas_pdu) {
+                        let (_, m_tmsi) =
+                            s_tmsi.ok_or(MmeError::UnknownUe("protected NAS without S-TMSI"))?;
+                        return Ok((
+                            self.route_with_state(m_tmsi)
+                                .ok_or(MmeError::UnknownUe("no state holder"))?,
+                            None,
+                        ));
+                    }
+                    // Peek the NAS to classify the request.
+                    let msg = EmmMessage::decode(nas_pdu.clone())?;
+                    match msg {
+                        EmmMessage::AttachRequest {
+                            id: MobileId::Imsi(_),
+                            ..
+                        } => {
+                            let (m_tmsi, master) = self
+                                .mlb
+                                .assign_guti()
+                                .ok_or(MmeError::BadState("no MMPs".into()))?;
+                            Ok((master, Some(m_tmsi)))
+                        }
+                        EmmMessage::AttachRequest {
+                            id: MobileId::Guti(g),
+                            ..
+                        } => {
+                            // Known device: route to a state holder; a
+                            // stale GUTI routes to the master, which
+                            // rejects it (UE falls back to IMSI attach).
+                            Ok((
+                                self.route_with_state(g.m_tmsi)
+                                    .or_else(|| self.mlb.master(g.m_tmsi))
+                                    .ok_or(MmeError::BadState("no MMPs".into()))?,
+                                None,
+                            ))
+                        }
+                        EmmMessage::ServiceRequest { .. } => {
+                            let (_, m_tmsi) =
+                                s_tmsi.ok_or(MmeError::UnknownUe("SR without S-TMSI"))?;
+                            Ok((
+                                self.route_with_state(m_tmsi)
+                                    .ok_or(MmeError::UnknownUe("no state holder"))?,
+                                None,
+                            ))
+                        }
+                        EmmMessage::TauRequest { guti, .. } => Ok((
+                            self.route_with_state(guti.m_tmsi)
+                                .ok_or(MmeError::UnknownUe("no state holder"))?,
+                            None,
+                        )),
+                        EmmMessage::DetachRequest { id, .. } => {
+                            let m_tmsi = match id {
+                                MobileId::Guti(g) => g.m_tmsi,
+                                MobileId::Imsi(_) => {
+                                    return Err(MmeError::UnknownUe("detach by IMSI at MLB"))
+                                }
+                            };
+                            Ok((
+                                self.route_with_state(m_tmsi)
+                                    .ok_or(MmeError::UnknownUe("no state holder"))?,
+                                None,
+                            ))
+                        }
+                        other => Err(MmeError::BadState(format!(
+                            "unroutable initial NAS {other:?}"
+                        ))),
+                    }
+                }
+                // Active-mode PDUs carry the serving MMP in the id.
+                other => match other.mme_ue_id() {
+                    Some(id) => Ok((self.mlb.route_active(id), None)),
+                    None => Err(MmeError::BadState(format!(
+                        "S1AP PDU without routing id: {other:?}"
+                    ))),
+                },
+            },
+            Incoming::S11(msg) => {
+                // Responses route by the sequence's VM byte; requests
+                // (DDN) by the TEID's VM byte.
+                use scale_gtpc::Body;
+                let vm = match msg.body {
+                    Body::DownlinkDataNotification { .. } => self.mlb.route_active(msg.teid),
+                    _ => ((msg.sequence >> 16) & 0xff) as VmId,
+                };
+                Ok((vm, None))
+            }
+            Incoming::S6a(msg) => Ok((((msg.hop_by_hop >> 24) & 0xff) as VmId, None)),
+        }
+    }
+
+    /// Process one event end-to-end through the cluster.
+    pub fn handle(&mut self, ev: Incoming) -> Result<Vec<Outgoing>, MmeError> {
+        self.stats.messages += 1;
+        self.window_messages += 1;
+
+        // The MLB itself answers S1 Setup — it *is* the MME to eNodeBs.
+        if let Incoming::S1ap { enb_id, pdu } = &ev {
+            if matches!(pdu, S1apPdu::S1SetupRequest { .. }) {
+                let any_vm = self
+                    .mmps
+                    .values()
+                    .next()
+                    .ok_or(MmeError::BadState("no MMPs".into()))?;
+                let mut resp = any_vm.s1_setup_response();
+                if let S1apPdu::S1SetupResponse { mme_name, .. } = &mut resp {
+                    *mme_name = "scale-mlb".into();
+                }
+                return Ok(vec![Outgoing::S1ap {
+                    enb_id: *enb_id,
+                    pdu: resp,
+                }]);
+            }
+        }
+
+        let (vm, hint) = self.route(&ev)?;
+        let engine = self
+            .mmps
+            .get_mut(&vm)
+            .ok_or(MmeError::BadState(format!("routed to dead MMP {vm}")))?;
+        if let Some(m_tmsi) = hint {
+            engine.set_guti_hint(m_tmsi);
+        }
+        let outs = engine.handle(ev)?;
+        self.mlb.record_handled(vm);
+
+        // Post-process lifecycle events for replication bookkeeping.
+        let mut result = Vec::with_capacity(outs.len());
+        for out in outs {
+            match &out {
+                Outgoing::UeIdle { guti } => {
+                    // §4.6: replicas are refreshed when the device
+                    // returns to Idle.
+                    self.sync_holders(*guti, Some(vm));
+                    result.push(out);
+                }
+                Outgoing::UeDetached { guti } => {
+                    let g = *guti;
+                    for v in self.vm_ids() {
+                        if v != vm {
+                            if let Some(m) = self.mmps.get_mut(&v) {
+                                m.remove_context(&g);
+                            }
+                        }
+                    }
+                    self.single_copy.remove(&g.m_tmsi);
+                    result.push(out);
+                }
+                _ => result.push(out),
+            }
+        }
+        Ok(result)
+    }
+
+    /// Run one epoch (§4.4/§4.5): profile access, allocate replicas,
+    /// provision VMs, rebalance state.
+    pub fn run_epoch(&mut self) -> EpochReport {
+        self.stats.epochs += 1;
+        let access_alpha = self.config.access_alpha;
+        // 1. Close per-device access windows.
+        for engine in self.mmps.values_mut() {
+            for ctx in engine.contexts_mut() {
+                ctx.close_epoch(access_alpha);
+            }
+        }
+        // 2. Devices + weights.
+        let weights_map = self.device_weights();
+        let k = weights_map.len() as u64;
+        let ids: Vec<u32> = weights_map.keys().copied().collect();
+        let weights: Vec<f64> = weights_map.values().copied().collect();
+
+        // 3. Access-aware allocation.
+        let (beta, single): (f64, BTreeSet<u32>) = match &self.config.allocation {
+            Some(policy) => {
+                let alloc = policy.allocate(&weights, None);
+                let single: BTreeSet<u32> =
+                    alloc.single_copy.iter().map(|&i| ids[i]).collect();
+                (alloc.beta, single)
+            }
+            None => (1.0, BTreeSet::new()),
+        };
+        self.single_copy = single;
+
+        // 4. Provision (Eq 1).
+        let observed = self.window_messages as f64;
+        self.window_messages = 0;
+        let expected = self.load_estimator.observe(observed);
+        let prov = provision(
+            expected,
+            k,
+            self.config.replication as u32,
+            beta,
+            self.config.capacity,
+        );
+        let vms_before = self.mmps.len();
+        let target = prov.vms() as usize;
+
+        // 5. Elastic scaling with state transfer.
+        let transfers_before = self.stats.replications;
+        while self.mmps.len() < target {
+            self.add_mmp();
+        }
+        while self.mmps.len() > target && self.mmps.len() > 1 {
+            let victim = *self.mmps.keys().last().unwrap();
+            self.remove_mmp(victim);
+        }
+        // 6. Re-home every device to its (possibly new) holders.
+        for &m_tmsi in &ids {
+            let guti = self.mlb.guti(m_tmsi);
+            self.sync_holders(guti, None);
+        }
+        let transferred = self.stats.replications - transfers_before;
+        self.stats.transfers += transferred;
+        self.mlb.close_load_window();
+
+        EpochReport {
+            provisioning: prov,
+            vms_before,
+            vms_after: self.mmps.len(),
+            beta,
+            registered_devices: k,
+            observed_load: observed,
+            states_transferred: transferred,
+            single_copy_devices: self.single_copy.len() as u64,
+        }
+    }
+
+    /// Count of Idle devices (sanity metric for tests).
+    pub fn idle_devices(&self) -> usize {
+        self.device_weights()
+            .keys()
+            .filter(|m| {
+                let guti = self.mlb.guti(**m);
+                self.mmps
+                    .values()
+                    .any(|e| e.context(&guti).map(|c| c.ecm == EcmState::Idle) == Some(true))
+            })
+            .count()
+    }
+}
+
+impl ControlPlane for ScaleDc {
+    fn handle_event(&mut self, ev: Incoming) -> Result<Vec<Outgoing>, MmeError> {
+        self.handle(ev)
+    }
+
+    fn messages_processed(&self) -> u64 {
+        self.stats.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scale_epc::{Network, UeState};
+
+    fn scale_net(vms: u32, n_ues: usize) -> Network<ScaleDc> {
+        let dc = ScaleDc::new(ScaleConfig {
+            initial_vms: vms,
+            ..Default::default()
+        });
+        let mut net = Network::new(dc, 2);
+        net.s1_setup();
+        for i in 0..n_ues {
+            net.add_ue(&format!("0010100001{i:05}"), i % 2);
+        }
+        net
+    }
+
+    #[test]
+    fn attach_through_scale_cluster() {
+        let mut net = scale_net(3, 10);
+        for ue in 0..10 {
+            assert!(net.attach(ue), "ue {ue}: {:?}", net.errors);
+        }
+        assert!(net.errors.is_empty(), "{:?}", net.errors);
+        assert_eq!(net.cp.device_count(), 10);
+        // Devices are spread across VMs by the ring.
+        let held: Vec<usize> = net.cp.vm_ids().iter().map(|&v| net.cp.states_on(v)).collect();
+        assert_eq!(held.iter().sum::<usize>(), 10, "one copy each while Active");
+    }
+
+    #[test]
+    fn idle_transition_replicates_state() {
+        let mut net = scale_net(3, 6);
+        for ue in 0..6 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue), "{:?}", net.errors);
+        }
+        // Each idle device now has R = 2 copies.
+        let total: usize = net.cp.vm_ids().iter().map(|&v| net.cp.states_on(v)).sum();
+        assert_eq!(total, 12, "6 devices × R=2 copies");
+        assert!(net.cp.stats.replications >= 6);
+    }
+
+    #[test]
+    fn service_request_after_idle_works_from_replica() {
+        let mut net = scale_net(4, 8);
+        for ue in 0..8 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        for ue in 0..8 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+            assert_eq!(net.ues[ue].state, UeState::Active);
+        }
+        assert!(net.errors.is_empty(), "{:?}", net.errors);
+    }
+
+    #[test]
+    fn paging_through_mlb() {
+        let mut net = scale_net(3, 3);
+        for ue in 0..3 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        for ue in 0..3 {
+            assert!(net.downlink_data(ue), "ue {ue}: {:?}", net.errors);
+        }
+    }
+
+    #[test]
+    fn detach_removes_all_copies() {
+        let mut net = scale_net(3, 4);
+        for ue in 0..4 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        for ue in 0..4 {
+            assert!(net.service_request(ue));
+            assert!(net.detach(ue, false), "{:?}", net.errors);
+        }
+        let total: usize = net.cp.vm_ids().iter().map(|&v| net.cp.states_on(v)).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scale_out_rebalances_devices() {
+        let mut net = scale_net(2, 12);
+        for ue in 0..12 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let before = net.cp.vm_count();
+        let new_vm = net.cp.add_mmp();
+        // Re-home after the manual addition.
+        let ids: Vec<u32> = net.cp.device_weights().keys().copied().collect();
+        for m in ids {
+            let guti = net.cp.mlb.guti(m);
+            net.cp.sync_holders(guti, None);
+        }
+        assert_eq!(net.cp.vm_count(), before + 1);
+        // The new VM owns some arcs, hence some states.
+        assert!(net.cp.states_on(new_vm) > 0, "new VM received no state");
+        // Devices still reachable.
+        for ue in 0..12 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+            assert!(net.go_idle(ue));
+        }
+    }
+
+    #[test]
+    fn scale_in_preserves_devices() {
+        let mut net = scale_net(4, 10);
+        for ue in 0..10 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let victim = *net.cp.vm_ids().last().unwrap();
+        assert!(net.cp.remove_mmp(victim));
+        for ue in 0..10 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+        }
+    }
+
+    #[test]
+    fn epoch_provisions_to_load() {
+        let mut net = scale_net(2, 20);
+        for ue in 0..20 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let report = net.cp.run_epoch();
+        assert_eq!(report.registered_devices, 20);
+        assert!(report.observed_load > 0.0);
+        assert!(report.vms_after >= 1);
+        // Light load, few devices → provisioning shrinks to 1 VM.
+        assert_eq!(report.provisioning.vms(), 1);
+        // Devices survive the rebalance.
+        for ue in 0..20 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+        }
+    }
+
+    #[test]
+    fn access_aware_epoch_thins_replicas() {
+        let dc = ScaleDc::new(ScaleConfig {
+            initial_vms: 3,
+            allocation: Some(AllocationPolicy {
+                x: 0.9, // everything is "low activity" in one epoch
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let mut net = Network::new(dc, 1);
+        net.s1_setup();
+        for i in 0..10 {
+            net.add_ue(&format!("0010100002{i:05}"), 0);
+            assert!(net.attach(i));
+            assert!(net.go_idle(i));
+        }
+        let report = net.cp.run_epoch();
+        assert!(report.beta < 1.0);
+        assert_eq!(report.single_copy_devices, 10);
+        // After the epoch every device holds exactly one copy.
+        let total: usize = net.cp.vm_ids().iter().map(|&v| net.cp.states_on(v)).sum();
+        assert_eq!(total, 10);
+        // And they are still serviceable (master handles them).
+        for ue in 0..10 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+        }
+    }
+
+    #[test]
+    fn mlb_spreads_masters() {
+        let mut net = scale_net(4, 40);
+        for ue in 0..40 {
+            assert!(net.attach(ue));
+        }
+        let counts: Vec<usize> = net.cp.vm_ids().iter().map(|&v| net.cp.states_on(v)).collect();
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero >= 3, "masters should spread: {counts:?}");
+    }
+}

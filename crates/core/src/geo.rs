@@ -1,0 +1,291 @@
+//! Geo-multiplexing (§4.5.2): each DC advertises an external-state
+//! budget; MMPs replicate their high-activity devices to remote DCs
+//! chosen probabilistically by inverse propagation delay among DCs with
+//! available budget; overloaded DCs shed processing to those replicas.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a data center.
+pub type DcId = u16;
+
+/// One DC's view of its external-state budget.
+#[derive(Debug, Clone)]
+pub struct DcBudget {
+    pub dc: DcId,
+    /// S_m: maximum external device states this DC accepts.
+    pub capacity: u64,
+    /// Ŝ_m: portion of S_m still unused.
+    pub available: u64,
+}
+
+impl DcBudget {
+    pub fn new(dc: DcId, capacity: u64) -> Self {
+        DcBudget {
+            dc,
+            capacity,
+            available: capacity,
+        }
+    }
+
+    /// Reserve one external state slot; false when exhausted.
+    pub fn reserve(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn release(&mut self) {
+        self.available = (self.available + 1).min(self.capacity);
+    }
+
+    /// Re-size the budget as processing headroom changes (§4.5.2
+    /// DC-level operation iv); shrinking below current usage triggers
+    /// eviction at the owners (handled by the coordinator).
+    pub fn resize(&mut self, new_capacity: u64) -> u64 {
+        let used = self.capacity - self.available;
+        self.capacity = new_capacity;
+        if used > new_capacity {
+            // Over-committed: the excess must be evicted by owners.
+            self.available = 0;
+            used - new_capacity
+        } else {
+            self.available = new_capacity - used;
+            0
+        }
+    }
+}
+
+/// Inter-DC propagation delays (symmetric matrix, milliseconds).
+#[derive(Debug, Clone)]
+pub struct DelayMatrix {
+    n: usize,
+    ms: Vec<f64>,
+}
+
+impl DelayMatrix {
+    pub fn new(n: usize) -> Self {
+        DelayMatrix {
+            n,
+            ms: vec![0.0; n * n],
+        }
+    }
+
+    pub fn set(&mut self, a: DcId, b: DcId, delay_ms: f64) {
+        let (a, b) = (a as usize, b as usize);
+        assert!(a < self.n && b < self.n);
+        self.ms[a * self.n + b] = delay_ms;
+        self.ms[b * self.n + a] = delay_ms;
+    }
+
+    pub fn get(&self, a: DcId, b: DcId) -> f64 {
+        self.ms[a as usize * self.n + b as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// The remote-DC chooser of §4.5.2: probability ∝ (1/D_ij) / Σ(1/D_ik)
+/// over remote DCs with non-zero budget. The probabilistic (rather than
+/// greedy-nearest) choice is what avoids hot-spotting a DC that happens
+/// to be close to several others (the RDM2 failure mode of Fig 10b).
+pub struct GeoSelector {
+    rng: StdRng,
+}
+
+impl GeoSelector {
+    pub fn new(seed: u64) -> Self {
+        GeoSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Pick the remote DC for one device's external replica.
+    /// `budgets` holds every DC's advertised Ŝ_m (including the local
+    /// DC, which is skipped). Returns `None` when no remote budget
+    /// remains.
+    pub fn choose_remote(
+        &mut self,
+        local: DcId,
+        budgets: &[DcBudget],
+        delays: &DelayMatrix,
+    ) -> Option<DcId> {
+        let candidates: Vec<&DcBudget> = budgets
+            .iter()
+            .filter(|b| b.dc != local && b.available > 0)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Weight by inverse delay; a zero-delay link (co-located DCs)
+        // gets a large finite weight to stay numerically sane.
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|b| {
+                let d = delays.get(local, b.dc).max(1e-3);
+                1.0 / d
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut roll = self.rng.gen_range(0.0..total);
+        for (b, w) in candidates.iter().zip(weights.iter()) {
+            if roll < *w {
+                return Some(b.dc);
+            }
+            roll -= w;
+        }
+        Some(candidates.last().unwrap().dc)
+    }
+
+    /// Which of a VM's devices are geo-replicated (§4.5.2 MMP-level
+    /// operation): high-activity devices (w_i ≥ 0.5), each selected with
+    /// probability ∝ w_i over the VM's share of the budget.
+    pub fn select_devices(
+        &mut self,
+        weights: &[f64],
+        vm_share: u64,
+    ) -> Vec<usize> {
+        let eligible: Vec<usize> = weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w >= 0.5)
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() || vm_share == 0 {
+            return Vec::new();
+        }
+        let sum_w: f64 = eligible.iter().map(|&i| weights[i]).sum();
+        let mut chosen = Vec::new();
+        for &i in &eligible {
+            let p = ((weights[i] / sum_w) * vm_share as f64).clamp(0.0, 1.0);
+            if self.rng.gen_bool(p) {
+                chosen.push(i);
+                if chosen.len() as u64 >= vm_share {
+                    break;
+                }
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budgets() -> Vec<DcBudget> {
+        vec![
+            DcBudget::new(0, 100),
+            DcBudget::new(1, 100),
+            DcBudget::new(2, 100),
+            DcBudget::new(3, 100),
+        ]
+    }
+
+    fn delays() -> DelayMatrix {
+        let mut d = DelayMatrix::new(4);
+        d.set(0, 1, 5.0);
+        d.set(0, 2, 50.0);
+        d.set(0, 3, 50.0);
+        d.set(1, 2, 20.0);
+        d.set(1, 3, 20.0);
+        d.set(2, 3, 10.0);
+        d
+    }
+
+    #[test]
+    fn budget_reserve_release() {
+        let mut b = DcBudget::new(0, 2);
+        assert!(b.reserve());
+        assert!(b.reserve());
+        assert!(!b.reserve());
+        b.release();
+        assert!(b.reserve());
+    }
+
+    #[test]
+    fn budget_resize_reports_eviction_need() {
+        let mut b = DcBudget::new(0, 10);
+        for _ in 0..8 {
+            b.reserve();
+        }
+        // Shrink to 5 with 8 used: 3 must be evicted.
+        assert_eq!(b.resize(5), 3);
+        assert_eq!(b.available, 0);
+        // Grow back: head-room reappears (usage now counted as 5).
+        assert_eq!(b.resize(12), 0);
+        assert_eq!(b.available, 7);
+    }
+
+    #[test]
+    fn near_dc_preferred_but_not_exclusively() {
+        let mut sel = GeoSelector::new(42);
+        let b = budgets();
+        let d = delays();
+        let mut counts = [0u32; 4];
+        for _ in 0..2000 {
+            let dc = sel.choose_remote(0, &b, &d).unwrap();
+            counts[dc as usize] += 1;
+        }
+        assert_eq!(counts[0], 0, "never choose self");
+        // DC1 (5 ms) should dominate DC2/DC3 (50 ms), roughly 10:1 each.
+        assert!(counts[1] > counts[2] * 4);
+        assert!(counts[1] > counts[3] * 4);
+        // But the far DCs still receive some replicas (anti-hot-spot).
+        assert!(counts[2] > 0 && counts[3] > 0);
+    }
+
+    #[test]
+    fn exhausted_budgets_are_skipped() {
+        let mut sel = GeoSelector::new(7);
+        let mut b = budgets();
+        b[1].available = 0;
+        let d = delays();
+        for _ in 0..200 {
+            let dc = sel.choose_remote(0, &b, &d).unwrap();
+            assert_ne!(dc, 1);
+        }
+        // All remote budgets gone → None.
+        for budget in b.iter_mut() {
+            budget.available = 0;
+        }
+        assert_eq!(sel.choose_remote(0, &b, &d), None);
+    }
+
+    #[test]
+    fn device_selection_prefers_high_activity() {
+        let mut sel = GeoSelector::new(9);
+        let weights = [0.9, 0.95, 0.6, 0.4, 0.1, 0.05];
+        let mut hits = [0u32; 6];
+        for _ in 0..500 {
+            for i in sel.select_devices(&weights, 2) {
+                hits[i] += 1;
+            }
+        }
+        // Devices below 0.5 are never geo-replicated.
+        assert_eq!(hits[3], 0);
+        assert_eq!(hits[4], 0);
+        assert_eq!(hits[5], 0);
+        // Higher w_i → selected at least as often (within noise).
+        assert!(hits[1] + 50 >= hits[2]);
+    }
+
+    #[test]
+    fn vm_share_bounds_selection() {
+        let mut sel = GeoSelector::new(3);
+        let weights = vec![0.9; 50];
+        for _ in 0..50 {
+            assert!(sel.select_devices(&weights, 3).len() <= 3);
+        }
+        assert!(sel.select_devices(&weights, 0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # scale-core
+//!
+//! SCALE itself — the paper's contribution (CoNEXT 2015):
+//!
+//! * [`mlb`] — the MME Load Balancer: standards-facing proxy that routes
+//!   by consistent hashing + embedded VM ids, with no per-device table;
+//! * [`cluster`] — a complete SCALE DC ([`ScaleDc`]): elastic MMP fleet,
+//!   Idle-edge state replication, epoch provisioning and rebalancing;
+//! * [`provision`] — Eq 1–3: VM provisioning, β, access-aware allocation;
+//! * [`geo`] — geo-multiplexing budgets and the delay-weighted remote-DC
+//!   selector (§4.5.2);
+//! * [`baseline`] — the legacy 3GPP pool comparator (§3.1).
+//!
+//! `ScaleDc` and `LegacyPool` both implement `scale_epc::ControlPlane`,
+//! so the same eNodeB/UE/HSS/S-GW harness drives either system with
+//! byte-identical signaling — the methodological core of every
+//! comparison experiment.
+
+pub mod baseline;
+pub mod cluster;
+pub mod geo;
+pub mod mlb;
+pub mod provision;
+
+pub use baseline::{LegacyPool, PoolMember, PoolStats};
+pub use cluster::{DcStats, EpochReport, ScaleConfig, ScaleDc};
+pub use geo::{DcBudget, DcId, DelayMatrix, GeoSelector};
+pub use mlb::{MlbRouter, MlbStats, VmId, VmLoad};
+pub use provision::{
+    beta, provision, replica_probability, Allocation, AllocationPolicy, LoadEstimator,
+    Provisioning, VmCapacity,
+};

@@ -1,0 +1,319 @@
+//! The MLB (MME Load Balancer) routing logic — §4.1/§4.6 of the paper.
+//!
+//! The MLB is the standards-facing proxy: it looks like one MME to every
+//! eNodeB and S-GW, and routes each message to an MMP VM using only
+//! (a) the consistent hash ring and (b) coarse per-VM load — no
+//! per-device routing table ("Low-overhead", §4.6):
+//!
+//! * unregistered attach → MLB assigns the GUTI and routes to its hash
+//!   master;
+//! * Idle→Active transition (service request / TAU / GUTI attach) →
+//!   least-loaded VM among the R replica holders of the GUTI;
+//! * Active-mode messages → the VM id embedded in the MME-UE-S1AP-ID /
+//!   S11-TEID / Diameter hop-by-hop id by the serving MMP.
+
+use scale_hashring::HashRing;
+use scale_mme::vm_of_id;
+use scale_nas::{Guti, Plmn};
+use std::collections::HashMap;
+
+/// MMP VM identifier within one DC pool (embedded in composed ids).
+pub type VmId = u32;
+
+/// Per-VM load tracked by the MLB: an EWMA of the messages handled per
+/// window (the "moving average of CPU utilization" of §4.6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VmLoad {
+    pub ewma: f64,
+    pub window_count: u64,
+}
+
+/// The MLB's routing state.
+pub struct MlbRouter {
+    ring: HashRing<VmId>,
+    replication: usize,
+    loads: HashMap<VmId, VmLoad>,
+    next_m_tmsi: u32,
+    plmn: Plmn,
+    mme_group_id: u16,
+    mme_code: u8,
+    /// EWMA smoothing for load updates.
+    pub load_alpha: f64,
+    pub stats: MlbStats,
+}
+
+/// Routing counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MlbStats {
+    pub new_attaches: u64,
+    pub idle_routes: u64,
+    pub active_routes: u64,
+    pub lookups: u64,
+}
+
+impl MlbRouter {
+    pub fn new(tokens: u32, replication: usize, plmn: Plmn, mme_group_id: u16, mme_code: u8) -> Self {
+        MlbRouter {
+            ring: HashRing::new(tokens),
+            replication,
+            loads: HashMap::new(),
+            next_m_tmsi: 1,
+            plmn,
+            mme_group_id,
+            mme_code,
+            load_alpha: 0.3,
+            stats: MlbStats::default(),
+        }
+    }
+
+    /// Register a new MMP VM on the ring.
+    pub fn add_mmp(&mut self, vm: VmId) {
+        self.ring.add_node(vm);
+        self.loads.entry(vm).or_default();
+    }
+
+    /// Remove an MMP VM.
+    pub fn remove_mmp(&mut self, vm: VmId) {
+        self.ring.remove_node(&vm);
+        self.loads.remove(&vm);
+    }
+
+    pub fn mmps(&self) -> &[VmId] {
+        self.ring.nodes()
+    }
+
+    pub fn ring(&self) -> &HashRing<VmId> {
+        &self.ring
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Compose the pool GUTI for an M-TMSI.
+    pub fn guti(&self, m_tmsi: u32) -> Guti {
+        Guti {
+            plmn: self.plmn,
+            mme_group_id: self.mme_group_id,
+            mme_code: self.mme_code,
+            m_tmsi,
+        }
+    }
+
+    /// Assign a fresh GUTI for an unregistered device and return
+    /// `(m_tmsi, master VM)` — the attach is processed at the master so
+    /// the state's first copy lives where the ring says it should.
+    pub fn assign_guti(&mut self) -> Option<(u32, VmId)> {
+        let m_tmsi = self.next_m_tmsi;
+        self.next_m_tmsi += 1;
+        self.stats.new_attaches += 1;
+        let guti = self.guti(m_tmsi);
+        let master = *self.ring.primary(&guti.to_bytes().to_vec())?;
+        Some((m_tmsi, master))
+    }
+
+    /// Replica holders of a GUTI: master first, then ring successors.
+    pub fn holders(&self, m_tmsi: u32) -> Vec<VmId> {
+        let guti = self.guti(m_tmsi);
+        self.ring
+            .replicas(&guti.to_bytes().to_vec(), self.replication)
+            .into_iter()
+            .copied()
+            .collect()
+    }
+
+    /// Master VM of a GUTI.
+    pub fn master(&self, m_tmsi: u32) -> Option<VmId> {
+        self.holders(m_tmsi).first().copied()
+    }
+
+    /// Route an Idle→Active request: least-loaded VM among the replica
+    /// holders (the fine-grained balancing of §4.6).
+    pub fn route_idle_transition(&mut self, m_tmsi: u32) -> Option<VmId> {
+        self.stats.idle_routes += 1;
+        self.stats.lookups += 1;
+        let holders = self.holders(m_tmsi);
+        holders
+            .into_iter()
+            .min_by(|a, b| {
+                let la = self.loads.get(a).map(|l| l.ewma).unwrap_or(0.0);
+                let lb = self.loads.get(b).map(|l| l.ewma).unwrap_or(0.0);
+                la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Route an Active-mode message by its embedded VM id.
+    pub fn route_active(&mut self, composed_id: u32) -> VmId {
+        self.stats.active_routes += 1;
+        vm_of_id(composed_id) as VmId
+    }
+
+    /// Record one message handled by `vm` in the current window.
+    pub fn record_handled(&mut self, vm: VmId) {
+        self.loads.entry(vm).or_default().window_count += 1;
+    }
+
+    /// Close a load window: fold counts into the EWMA and reset.
+    pub fn close_load_window(&mut self) {
+        let alpha = self.load_alpha;
+        for load in self.loads.values_mut() {
+            load.ewma = alpha * load.window_count as f64 + (1.0 - alpha) * load.ewma;
+            load.window_count = 0;
+        }
+    }
+
+    /// Current EWMA load of a VM.
+    pub fn load_of(&self, vm: VmId) -> f64 {
+        self.loads.get(&vm).map(|l| l.ewma).unwrap_or(0.0)
+    }
+
+    /// Directly set a VM's load (used when MMPs push their CPU figures).
+    pub fn set_load(&mut self, vm: VmId, load: f64) {
+        self.loads.entry(vm).or_default().ewma = load;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scale_mme::compose_id;
+
+    fn router(vms: &[VmId]) -> MlbRouter {
+        let mut r = MlbRouter::new(5, 2, Plmn::test(), 0x8001, 1);
+        for &vm in vms {
+            r.add_mmp(vm);
+        }
+        r
+    }
+
+    #[test]
+    fn assign_guti_routes_to_master() {
+        let mut r = router(&[1, 2, 3]);
+        for _ in 0..50 {
+            let (m_tmsi, master) = r.assign_guti().unwrap();
+            assert_eq!(r.master(m_tmsi), Some(master));
+        }
+    }
+
+    #[test]
+    fn gutis_are_unique() {
+        let mut r = router(&[1]);
+        let a = r.assign_guti().unwrap().0;
+        let b = r.assign_guti().unwrap().0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn holders_are_distinct_and_stable() {
+        let r = router(&[1, 2, 3, 4, 5]);
+        for m in 0..100u32 {
+            let h = r.holders(m);
+            assert_eq!(h.len(), 2);
+            assert_ne!(h[0], h[1]);
+            assert_eq!(h, r.holders(m), "stable routing");
+        }
+    }
+
+    #[test]
+    fn idle_routing_prefers_least_loaded_holder() {
+        let mut r = router(&[1, 2, 3, 4]);
+        let m_tmsi = 42;
+        let holders = r.holders(m_tmsi);
+        r.set_load(holders[0], 0.9);
+        r.set_load(holders[1], 0.1);
+        assert_eq!(r.route_idle_transition(m_tmsi), Some(holders[1]));
+        // Flip the load: routing follows.
+        r.set_load(holders[0], 0.05);
+        assert_eq!(r.route_idle_transition(m_tmsi), Some(holders[0]));
+    }
+
+    #[test]
+    fn active_routing_uses_embedded_vm() {
+        let mut r = router(&[1, 2, 3]);
+        assert_eq!(r.route_active(compose_id(2, 777)), 2);
+        assert_eq!(r.route_active(compose_id(3, 1)), 3);
+    }
+
+    #[test]
+    fn load_window_ewma() {
+        let mut r = router(&[1]);
+        for _ in 0..100 {
+            r.record_handled(1);
+        }
+        r.close_load_window();
+        let l1 = r.load_of(1);
+        assert!(l1 > 0.0);
+        // Quiet window decays the estimate.
+        r.close_load_window();
+        assert!(r.load_of(1) < l1);
+    }
+
+    #[test]
+    fn removing_vm_moves_its_keys() {
+        let mut r = router(&[1, 2, 3, 4]);
+        // Find a key mastered by VM 2.
+        let m_tmsi = (0..1000u32).find(|m| r.master(*m) == Some(2)).unwrap();
+        r.remove_mmp(2);
+        let new_master = r.master(m_tmsi).unwrap();
+        assert_ne!(new_master, 2);
+        assert!(r.mmps().contains(&new_master));
+    }
+
+    #[test]
+    fn single_vm_pool_works() {
+        let mut r = router(&[7]);
+        assert_eq!(r.holders(1), vec![7]);
+        assert_eq!(r.route_idle_transition(1), Some(7));
+    }
+
+    #[test]
+    fn empty_pool_has_no_routes() {
+        let mut r = router(&[]);
+        assert!(r.assign_guti().is_none());
+        assert!(r.route_idle_transition(0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Routing is deterministic and always lands on a live MMP, and
+        /// the replica walk is stable under unrelated VM additions.
+        #[test]
+        fn routing_stability(n_vms in 1u32..20, m_tmsi in any::<u32>()) {
+            let mut r = MlbRouter::new(5, 2, Plmn::test(), 0x8001, 1);
+            for vm in 1..=n_vms {
+                r.add_mmp(vm);
+            }
+            let holders = r.holders(m_tmsi);
+            prop_assert_eq!(holders.len(), 2usize.min(n_vms as usize));
+            for h in &holders {
+                prop_assert!(r.mmps().contains(h));
+            }
+            // Adding a VM may only insert the new VM into the holder set.
+            let before = holders.clone();
+            r.add_mmp(n_vms + 1);
+            let after = r.holders(m_tmsi);
+            for h in &after {
+                prop_assert!(before.contains(h) || *h == n_vms + 1,
+                    "holder churn beyond the added VM");
+            }
+        }
+
+        /// Least-loaded choice always returns one of the holders.
+        #[test]
+        fn idle_route_is_a_holder(n_vms in 1u32..20, m_tmsi in any::<u32>(),
+                                  loads in proptest::collection::vec(0.0..100.0f64, 20)) {
+            let mut r = MlbRouter::new(5, 2, Plmn::test(), 0x8001, 1);
+            for vm in 1..=n_vms {
+                r.add_mmp(vm);
+                r.set_load(vm, loads[(vm - 1) as usize]);
+            }
+            let chosen = r.route_idle_transition(m_tmsi).unwrap();
+            prop_assert!(r.holders(m_tmsi).contains(&chosen));
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Epoch VM provisioning and access-aware state allocation — the
+//! arithmetic of §4.4 and §4.5 (Equations 1–3 of the paper).
+//!
+//! Every epoch (minutes), SCALE sizes the MMP fleet from two pressures:
+//! compute (expected signaling load L̄(t) against per-VM capacity N) and
+//! memory (R replicas of K(t) device states against per-VM capacity S),
+//! then uses access-frequency knowledge to shrink the memory term by
+//! replicating low-w_i devices only once (β < 1).
+
+/// Per-VM capacities: the `N` and `S` of Eq 1.
+#[derive(Debug, Clone, Copy)]
+pub struct VmCapacity {
+    /// Requests one MMP VM can process per epoch.
+    pub requests_per_epoch: u64,
+    /// Device states one MMP VM can store.
+    pub states: u64,
+}
+
+/// EWMA load estimator: L̄(t) ← α·L(t−1) + (1−α)·L̄(t−1) (Eq 1).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadEstimator {
+    pub alpha: f64,
+    estimate: f64,
+}
+
+impl LoadEstimator {
+    pub fn new(alpha: f64, initial: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha));
+        LoadEstimator {
+            alpha,
+            estimate: initial,
+        }
+    }
+
+    /// Fold in the previous epoch's observed load, returning L̄(t).
+    pub fn observe(&mut self, actual: f64) -> f64 {
+        self.estimate = self.alpha * actual + (1.0 - self.alpha) * self.estimate;
+        self.estimate
+    }
+
+    pub fn current(&self) -> f64 {
+        self.estimate
+    }
+}
+
+/// The outcome of Eq 1 for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provisioning {
+    /// V_C: VMs needed for compute.
+    pub compute_vms: u64,
+    /// V_S: VMs needed for state storage (β-scaled).
+    pub storage_vms: u64,
+}
+
+impl Provisioning {
+    /// V(t) = max(V_C, V_S).
+    pub fn vms(&self) -> u64 {
+        self.compute_vms.max(self.storage_vms).max(1)
+    }
+
+    /// True when memory (not compute) drives the fleet size — the
+    /// precondition for access-aware replica thinning (§4.5.1).
+    pub fn memory_bound(&self) -> bool {
+        self.storage_vms > self.compute_vms
+    }
+}
+
+/// Eq 1: V_C = ⌈L̄/N⌉, V_S = ⌈β·R·K/S⌉.
+pub fn provision(
+    expected_load: f64,
+    registered_devices: u64,
+    replication: u32,
+    beta: f64,
+    cap: VmCapacity,
+) -> Provisioning {
+    assert!(cap.requests_per_epoch > 0 && cap.states > 0);
+    assert!((0.0..=1.0).contains(&beta), "β ∈ (0,1]");
+    let compute_vms = (expected_load / cap.requests_per_epoch as f64).ceil() as u64;
+    let storage_need = beta * (replication as f64) * registered_devices as f64;
+    let storage_vms = (storage_need / cap.states as f64).ceil() as u64;
+    Provisioning {
+        compute_vms,
+        storage_vms,
+    }
+}
+
+/// Eq 2: β(x) = 1 − (K̂(x) − S_n − S_m) / (R·K) where K̂(x) is the
+/// number of devices with access frequency w_i ≤ x, S_n the reserve for
+/// new device registrations and S_m the external-state budget.
+///
+/// Clamped to (0, 1]: a huge low-activity cohort cannot drive β ≤ 0
+/// (every device keeps at least its master copy).
+pub fn beta(
+    low_activity_devices: u64,
+    new_device_reserve: u64,
+    external_state_budget: u64,
+    replication: u32,
+    registered_devices: u64,
+) -> f64 {
+    if registered_devices == 0 {
+        return 1.0;
+    }
+    let k_hat = low_activity_devices as f64;
+    let reclaimed = k_hat - new_device_reserve as f64 - external_state_budget as f64;
+    let b = 1.0 - reclaimed / (replication as f64 * registered_devices as f64);
+    b.clamp(1.0 / (replication as f64 * registered_devices as f64), 1.0)
+}
+
+/// Eq 3: probability that device `i` receives a replica when the
+/// leftover capacity after single copies is `spare_slots`, proportional
+/// to its access frequency.
+pub fn replica_probability(w_i: f64, sum_w: f64, spare_slots: f64, devices: u64) -> f64 {
+    if sum_w <= 0.0 || devices == 0 {
+        return 0.0;
+    }
+    ((w_i / sum_w) * spare_slots).clamp(0.0, 1.0)
+}
+
+/// Decide, per device, whether its state is replicated this epoch —
+/// the access-aware allocation of §4.5.1. `x` is the low-activity
+/// threshold (devices with w_i ≤ x keep a single copy deterministically;
+/// the paper's example uses x = 0.1, the S3 experiment x = 0.2).
+#[derive(Debug, Clone, Copy)]
+pub struct AllocationPolicy {
+    /// Low-activity threshold `x`.
+    pub x: f64,
+    /// Reserve for new registrations (S_n), states.
+    pub new_device_reserve: u64,
+    /// External-state budget (S_m), states.
+    pub external_state_budget: u64,
+    /// Replication factor R (2 in SCALE).
+    pub replication: u32,
+}
+
+impl Default for AllocationPolicy {
+    fn default() -> Self {
+        AllocationPolicy {
+            x: 0.1,
+            new_device_reserve: 0,
+            external_state_budget: 0,
+            replication: 2,
+        }
+    }
+}
+
+/// Outcome of one epoch's allocation pass.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// β(x) actually used for provisioning.
+    pub beta: f64,
+    /// Indices (into the caller's device slice) that get R replicas.
+    pub replicated: Vec<usize>,
+    /// Indices that keep a single (master) copy.
+    pub single_copy: Vec<usize>,
+}
+
+impl AllocationPolicy {
+    /// Run the allocation over per-device access frequencies.
+    ///
+    /// `deterministic` replicas: every device with w_i > x is replicated
+    /// (the spare-capacity probabilistic refinement of Eq 3 applies when
+    /// memory is too tight even for that; `capacity_states`, if given,
+    /// bounds the total states stored).
+    pub fn allocate(&self, weights: &[f64], capacity_states: Option<u64>) -> Allocation {
+        let k = weights.len() as u64;
+        let low: Vec<usize> = weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w <= self.x)
+            .map(|(i, _)| i)
+            .collect();
+        let b = beta(
+            low.len() as u64,
+            self.new_device_reserve,
+            self.external_state_budget,
+            self.replication,
+            k,
+        );
+        let mut replicated: Vec<usize> = weights
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w > self.x)
+            .map(|(i, _)| i)
+            .collect();
+        let mut single: Vec<usize> = low;
+
+        // If a hard state capacity is given and even the thinned plan
+        // overflows, demote the least-active replicated devices (the
+        // probabilistic rule of Eq 3 favours high-w_i devices).
+        if let Some(cap) = capacity_states {
+            let mut total = k + replicated.len() as u64; // masters + replicas
+            if total > cap {
+                replicated.sort_by(|&a, &b| {
+                    weights[a]
+                        .partial_cmp(&weights[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                while total > cap {
+                    match replicated.first().copied() {
+                        Some(i) => {
+                            replicated.remove(0);
+                            single.push(i);
+                            total -= 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        Allocation {
+            beta: b,
+            replicated,
+            single_copy: single,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: VmCapacity = VmCapacity {
+        requests_per_epoch: 10_000,
+        states: 25_000,
+    };
+
+    #[test]
+    fn compute_bound_provisioning() {
+        // Heavy load, few devices: compute dominates.
+        let p = provision(95_000.0, 10_000, 2, 1.0, CAP);
+        assert_eq!(p.compute_vms, 10);
+        assert_eq!(p.storage_vms, 1);
+        assert_eq!(p.vms(), 10);
+        assert!(!p.memory_bound());
+    }
+
+    #[test]
+    fn memory_bound_provisioning() {
+        // 1M registered devices, light load: memory dominates (the IoT
+        // regime of §3 "Scale of Operation").
+        let p = provision(5_000.0, 1_000_000, 2, 1.0, CAP);
+        assert_eq!(p.compute_vms, 1);
+        assert_eq!(p.storage_vms, 80);
+        assert!(p.memory_bound());
+    }
+
+    #[test]
+    fn beta_shrinks_storage_vms() {
+        // β = 0.75 cuts the S3-style provisioning by 25 % (Fig 11a).
+        let full = provision(5_000.0, 100_000, 2, 1.0, CAP);
+        let thin = provision(5_000.0, 100_000, 2, 0.75, CAP);
+        assert_eq!(full.storage_vms, 8);
+        assert_eq!(thin.storage_vms, 6);
+    }
+
+    #[test]
+    fn beta_formula_matches_eq2() {
+        // K = 100k, K̂ = 50k low-activity, no reserves, R = 2:
+        // β = 1 − 50k/200k = 0.75.
+        assert!((beta(50_000, 0, 0, 2, 100_000) - 0.75).abs() < 1e-12);
+        // Reserves eat into the reclaimed space.
+        assert!((beta(50_000, 5_000, 5_000, 2, 100_000) - 0.80).abs() < 1e-12);
+        // No low-activity devices: β = 1.
+        assert_eq!(beta(0, 0, 0, 2, 100_000), 1.0);
+        // Empty system: β = 1.
+        assert_eq!(beta(0, 0, 0, 2, 0), 1.0);
+    }
+
+    #[test]
+    fn beta_never_reaches_zero() {
+        let b = beta(1_000_000, 0, 0, 2, 1_000_000);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn ewma_estimator_converges() {
+        let mut est = LoadEstimator::new(0.5, 0.0);
+        for _ in 0..20 {
+            est.observe(100.0);
+        }
+        assert!((est.current() - 100.0).abs() < 1e-3);
+        // Reacts to change but smoothly.
+        est.observe(200.0);
+        assert!(est.current() > 100.0 && est.current() < 200.0);
+    }
+
+    #[test]
+    fn allocation_splits_by_threshold() {
+        let weights = [0.05, 0.5, 0.9, 0.02, 0.3];
+        let policy = AllocationPolicy {
+            x: 0.1,
+            ..Default::default()
+        };
+        let alloc = policy.allocate(&weights, None);
+        assert_eq!(alloc.replicated, vec![1, 2, 4]);
+        assert_eq!(alloc.single_copy, vec![0, 3]);
+        // β = 1 − 2/(2·5) = 0.8.
+        assert!((alloc.beta - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_pressure_demotes_least_active_first() {
+        let weights = [0.9, 0.8, 0.2, 0.3];
+        let policy = AllocationPolicy {
+            x: 0.1,
+            ..Default::default()
+        };
+        // Masters = 4; replicas wanted = 4 → total 8. Capacity 6 ⇒ demote
+        // the two least active of the replicated set (0.2, then 0.3).
+        let alloc = policy.allocate(&weights, Some(6));
+        assert_eq!(alloc.replicated.len(), 2);
+        assert!(alloc.replicated.contains(&0));
+        assert!(alloc.replicated.contains(&1));
+        assert!(alloc.single_copy.contains(&2));
+        assert!(alloc.single_copy.contains(&3));
+    }
+
+    #[test]
+    fn replica_probability_clamps() {
+        assert_eq!(replica_probability(1.0, 0.0, 10.0, 5), 0.0);
+        assert_eq!(replica_probability(0.5, 1.0, 100.0, 5), 1.0);
+        let p = replica_probability(0.25, 1.0, 2.0, 5);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provisioning_is_monotone_in_load_and_devices() {
+        let mut last = 0;
+        for load in [1_000.0, 20_000.0, 50_000.0, 200_000.0] {
+            let v = provision(load, 1_000, 2, 1.0, CAP).vms();
+            assert!(v >= last);
+            last = v;
+        }
+        let mut last = 0;
+        for k in [1_000, 100_000, 500_000, 2_000_000] {
+            let v = provision(100.0, k, 2, 1.0, CAP).vms();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CAP: VmCapacity = VmCapacity {
+        requests_per_epoch: 10_000,
+        states: 25_000,
+    };
+
+    proptest! {
+        /// Eq 1 output always covers the offered load and state demand.
+        #[test]
+        fn provisioning_is_sufficient(load in 0.0..1e7f64, k in 0u64..5_000_000,
+                                      beta_v in 0.01..1.0f64) {
+            let p = provision(load, k, 2, beta_v, CAP);
+            let v = p.vms();
+            prop_assert!(v >= 1);
+            prop_assert!(v as f64 * CAP.requests_per_epoch as f64 >= load - CAP.requests_per_epoch as f64);
+            prop_assert!(v as f64 * CAP.states as f64 >= beta_v * 2.0 * k as f64 - CAP.states as f64);
+        }
+
+        /// β is always in (0, 1] and decreases (weakly) in the size of the
+        /// low-activity cohort.
+        #[test]
+        fn beta_bounds_and_monotonicity(k in 1u64..1_000_000, frac in 0.0..1.0f64) {
+            let low = (k as f64 * frac) as u64;
+            let b = beta(low, 0, 0, 2, k);
+            prop_assert!(b > 0.0 && b <= 1.0);
+            let b_more = beta((low + k / 10).min(k), 0, 0, 2, k);
+            prop_assert!(b_more <= b + 1e-12);
+        }
+
+        /// Reserves only ever push β back up (less memory reclaimed).
+        #[test]
+        fn reserves_raise_beta(k in 100u64..100_000, low_frac in 0.0..1.0f64,
+                               reserve in 0u64..1000) {
+            let low = (k as f64 * low_frac) as u64;
+            let without = beta(low, 0, 0, 2, k);
+            let with = beta(low, reserve, reserve, 2, k);
+            prop_assert!(with >= without - 1e-12);
+        }
+
+        /// The allocation never loses a device: replicated + single = all,
+        /// and a hard capacity bound is respected.
+        #[test]
+        fn allocation_partitions_devices(weights in proptest::collection::vec(0.0..1.0f64, 1..200),
+                                         cap_extra in 0usize..100) {
+            let policy = AllocationPolicy { x: 0.3, ..Default::default() };
+            let cap = (weights.len() + cap_extra) as u64;
+            let alloc = policy.allocate(&weights, Some(cap));
+            let mut all: Vec<usize> = alloc.replicated.iter().chain(alloc.single_copy.iter()).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), weights.len(), "every device placed exactly once");
+            prop_assert!(weights.len() as u64 + alloc.replicated.len() as u64 <= cap.max(weights.len() as u64),
+                "total stored states within capacity");
+        }
+
+        /// EWMA estimate stays within the range of observations.
+        #[test]
+        fn ewma_stays_in_range(alpha in 0.01..1.0f64,
+                               obs in proptest::collection::vec(0.0..1e6f64, 1..50)) {
+            let mut est = LoadEstimator::new(alpha, obs[0]);
+            let mut lo = obs[0];
+            let mut hi = obs[0];
+            for &o in &obs {
+                est.observe(o);
+                lo = lo.min(o);
+                hi = hi.max(o);
+                prop_assert!(est.current() >= lo - 1e-9 && est.current() <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! AES-128 block cipher (FIPS-197).
+//!
+//! AES-128 is the core primitive of EPS security: Milenage (authentication
+//! vector generation at the HSS) is a mode of AES, and the EEA2/EIA2
+//! NAS ciphering/integrity algorithms are AES-CTR and AES-CMAC.
+//!
+//! The S-box is generated from its algebraic definition (multiplicative
+//! inverse in GF(2^8) followed by the affine transform) instead of being
+//! transcribed, eliminating table-typo risk; the FIPS-197 appendix C
+//! known-answer test pins the result.
+
+use std::sync::OnceLock;
+
+/// GF(2^8) multiplication modulo the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static T: OnceLock<Tables> = OnceLock::new();
+    T.get_or_init(|| {
+        // Multiplicative inverses via exhaustive search (fine: done once).
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gf_mul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..=255u8 {
+            let b = inv[x as usize];
+            let s = b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[x as usize] = s;
+            inv_sbox[s as usize] = x;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// An expanded AES-128 key schedule (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand `key` into the round-key schedule.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let t = tables();
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[i * 4..i * 4 + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = t.sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let t = tables();
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block, &t.sbox);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block, &t.sbox);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypt a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let t = tables();
+        add_round_key(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        sub_bytes(block, &t.inv_sbox);
+        for round in (1..10).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            sub_bytes(block, &t.inv_sbox);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of `block` and return it.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+
+    /// AES-CTR keystream XOR (used by the EEA2 NAS ciphering emulation):
+    /// encrypts/decrypts `data` in place with a 16-byte initial counter
+    /// block, incrementing the counter big-endian per block.
+    pub fn ctr_xor(&self, counter0: &[u8; 16], data: &mut [u8]) {
+        let mut counter = *counter0;
+        for chunk in data.chunks_mut(16) {
+            let ks = self.encrypt(&counter);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+            // Increment the 128-bit counter (big-endian).
+            for byte in counter.iter_mut().rev() {
+                *byte = byte.wrapping_add(1);
+                if *byte != 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// State layout note: we keep the block in column-major order (byte i of
+/// the input is row i%4, column i/4), matching FIPS-197, so ShiftRows
+/// works on strided indices.
+fn add_round_key(block: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in block.iter_mut().zip(rk.iter()) {
+        *b ^= k;
+    }
+}
+
+fn sub_bytes(block: &mut [u8; 16], sbox: &[u8; 256]) {
+    for b in block.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+fn shift_rows(block: &mut [u8; 16]) {
+    // Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+    for r in 1..4 {
+        let row = [block[r], block[r + 4], block[r + 8], block[r + 12]];
+        for c in 0..4 {
+            block[r + c * 4] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(block: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [block[r], block[r + 4], block[r + 8], block[r + 12]];
+        for c in 0..4 {
+            block[r + c * 4] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(block: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            block[c * 4],
+            block[c * 4 + 1],
+            block[c * 4 + 2],
+            block[c * 4 + 3],
+        ];
+        block[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        block[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        block[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        block[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(block: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            block[c * 4],
+            block[c * 4 + 1],
+            block[c * 4 + 2],
+            block[c * 4 + 3],
+        ];
+        block[c * 4] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        block[c * 4 + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        block[c * 4 + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        block[c * 4 + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    /// FIPS-197 appendix C.1 known-answer test.
+    #[test]
+    fn fips197_c1() {
+        let key: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = unhex("00112233445566778899aabbccddeeff")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt(&pt);
+        assert_eq!(hex(&ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        let mut back = ct;
+        aes.decrypt_block(&mut back);
+        assert_eq!(back, pt);
+    }
+
+    /// FIPS-197 appendix B worked example.
+    #[test]
+    fn fips197_appendix_b() {
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let ct = Aes128::new(&key).encrypt(&pt);
+        assert_eq!(hex(&ct), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many() {
+        let aes = Aes128::new(&[7u8; 16]);
+        for i in 0..64u8 {
+            let pt = [i; 16];
+            let mut b = pt;
+            aes.encrypt_block(&mut b);
+            assert_ne!(b, pt);
+            aes.decrypt_block(&mut b);
+            assert_eq!(b, pt);
+        }
+    }
+
+    #[test]
+    fn ctr_is_an_involution() {
+        let aes = Aes128::new(&[0x42; 16]);
+        let ctr = [1u8; 16];
+        let mut data: Vec<u8> = (0..100).map(|i| i as u8).collect();
+        let orig = data.clone();
+        aes.ctr_xor(&ctr, &mut data);
+        assert_ne!(data, orig);
+        aes.ctr_xor(&ctr, &mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn ctr_counter_carries_across_byte_boundary() {
+        let aes = Aes128::new(&[1u8; 16]);
+        // Counter ending in 0xff must carry into the next byte between blocks.
+        let mut ctr = [0u8; 16];
+        ctr[15] = 0xff;
+        let mut two_blocks = vec![0u8; 32];
+        aes.ctr_xor(&ctr, &mut two_blocks);
+        // Second block keystream must equal encryption of counter 0x...0100.
+        let mut ctr2 = [0u8; 16];
+        ctr2[14] = 0x01;
+        let ks2 = aes.encrypt(&ctr2);
+        assert_eq!(&two_blocks[16..], &ks2[..]);
+    }
+}

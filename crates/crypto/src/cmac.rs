@@ -1,0 +1,157 @@
+//! AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//!
+//! EIA2, the AES-based LTE integrity algorithm, is AES-CMAC over the NAS
+//! message prefixed with count/bearer/direction; the NAS codec uses the
+//! truncated 32-bit MAC exactly as the spec does.
+
+use crate::aes::Aes128;
+
+/// Left-shift a 16-byte block by one bit.
+fn shl1(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    out
+}
+
+/// Generate the CMAC subkeys K1, K2 from the cipher.
+fn subkeys(aes: &Aes128) -> ([u8; 16], [u8; 16]) {
+    const RB: u8 = 0x87;
+    let l = aes.encrypt(&[0u8; 16]);
+    let mut k1 = shl1(&l);
+    if l[0] & 0x80 != 0 {
+        k1[15] ^= RB;
+    }
+    let mut k2 = shl1(&k1);
+    if k1[0] & 0x80 != 0 {
+        k2[15] ^= RB;
+    }
+    (k1, k2)
+}
+
+/// Compute the full 16-byte AES-CMAC tag of `msg` under `key`.
+pub fn aes_cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
+    let aes = Aes128::new(key);
+    let (k1, k2) = subkeys(&aes);
+
+    let n_blocks = msg.len().div_ceil(16).max(1);
+    let last_complete = !msg.is_empty() && msg.len() % 16 == 0;
+
+    let mut x = [0u8; 16];
+    // All blocks but the last.
+    for i in 0..n_blocks - 1 {
+        let mut block: [u8; 16] = msg[i * 16..i * 16 + 16].try_into().unwrap();
+        for (b, xv) in block.iter_mut().zip(x.iter()) {
+            *b ^= xv;
+        }
+        x = aes.encrypt(&block);
+    }
+    // Last block: XOR with K1 if complete, pad + K2 otherwise.
+    let mut last = [0u8; 16];
+    let tail = &msg[(n_blocks - 1) * 16..];
+    if last_complete {
+        last.copy_from_slice(tail);
+        for (b, k) in last.iter_mut().zip(k1.iter()) {
+            *b ^= k;
+        }
+    } else {
+        last[..tail.len()].copy_from_slice(tail);
+        last[tail.len()] = 0x80;
+        for (b, k) in last.iter_mut().zip(k2.iter()) {
+            *b ^= k;
+        }
+    }
+    for (b, xv) in last.iter_mut().zip(x.iter()) {
+        *b ^= xv;
+    }
+    aes.encrypt(&last)
+}
+
+/// EIA2-style 32-bit MAC: CMAC over `count || bearer/direction || msg`,
+/// truncated to the first four bytes (TS 33.401 B.2.3).
+pub fn eia2_mac(key: &[u8; 16], count: u32, bearer: u8, downlink: bool, msg: &[u8]) -> [u8; 4] {
+    let mut buf = Vec::with_capacity(8 + msg.len());
+    buf.extend_from_slice(&count.to_be_bytes());
+    // BEARER (5 bits) || DIRECTION (1 bit) || 26 zero bits.
+    let dir = if downlink { 1u8 } else { 0 };
+    buf.push((bearer << 3) | (dir << 2));
+    buf.extend_from_slice(&[0, 0, 0]);
+    buf.extend_from_slice(msg);
+    let tag = aes_cmac(key, &buf);
+    tag[..4].try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    fn rfc_key() -> [u8; 16] {
+        unhex("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap()
+    }
+
+    // RFC 4493 §4 test vectors.
+    #[test]
+    fn rfc4493_empty() {
+        assert_eq!(
+            hex(&aes_cmac(&rfc_key(), b"")),
+            "bb1d6929e95937287fa37d129b756746"
+        );
+    }
+
+    #[test]
+    fn rfc4493_16_bytes() {
+        let msg = unhex("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        assert_eq!(
+            hex(&aes_cmac(&rfc_key(), &msg)),
+            "070a16b46b4d4144f79bdd9dd04a287c"
+        );
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        let msg = unhex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411"
+        ))
+        .unwrap();
+        assert_eq!(
+            hex(&aes_cmac(&rfc_key(), &msg)),
+            "dfa66747de9ae63030ca32611497c827"
+        );
+    }
+
+    #[test]
+    fn rfc4493_64_bytes() {
+        let msg = unhex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ))
+        .unwrap();
+        assert_eq!(
+            hex(&aes_cmac(&rfc_key(), &msg)),
+            "51f0bebf7e3b9d92fc49741779363cfe"
+        );
+    }
+
+    #[test]
+    fn eia2_direction_and_count_matter() {
+        let key = [9u8; 16];
+        let m1 = eia2_mac(&key, 1, 0, false, b"nas message");
+        let m2 = eia2_mac(&key, 2, 0, false, b"nas message");
+        let m3 = eia2_mac(&key, 1, 0, true, b"nas message");
+        assert_ne!(m1, m2);
+        assert_ne!(m1, m3);
+        // Deterministic.
+        assert_eq!(m1, eia2_mac(&key, 1, 0, false, b"nas message"));
+    }
+}

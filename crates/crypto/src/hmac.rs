@@ -1,0 +1,94 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! The 3GPP key-derivation function (TS 33.401 annex A) is defined as
+//! HMAC-SHA-256 over an FC-tagged parameter string; see [`crate::kdf`].
+
+use crate::sha256::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Compute HMAC-SHA-256 of `msg` under `key`.
+///
+/// ```
+/// use scale_crypto::hmac::hmac_sha256;
+/// let mac = hmac_sha256(&[0x0b; 20], b"Hi There");
+/// assert_eq!(
+///     scale_crypto::hex(&mac),
+///     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = Sha256::digest(key);
+        k[..32].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut inner = Sha256::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(msg);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    // RFC 4231 test cases 1, 2, 3, 6 (6 exercises key > block size).
+    #[test]
+    fn rfc4231_case1() {
+        let mac = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let mac = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let mac = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn unhex_roundtrip() {
+        let bytes = unhex("00ff10a5").unwrap();
+        assert_eq!(bytes, vec![0x00, 0xff, 0x10, 0xa5]);
+        assert_eq!(hex(&bytes), "00ff10a5");
+        assert!(unhex("0g").is_none());
+        assert!(unhex("abc").is_none());
+    }
+}

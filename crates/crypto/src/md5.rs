@@ -1,0 +1,220 @@
+//! MD5 message digest (RFC 1321).
+//!
+//! SCALE uses MD5 to place GUTIs and MMP tokens on the consistent hash
+//! ring, mirroring the paper's prototype which linked the MD5 hash
+//! libraries into the MLB's S1AP parsing path (§5, "Load Balancing").
+//! MD5 is *not* used here for any security purpose — only for its uniform
+//! dispersion over the ring key space.
+
+/// Per-round left-rotate amounts, four per round group (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// The sine-derived constant table K[i] = floor(|sin(i + 1)| * 2^32).
+///
+/// Computed at first use from the spec's defining formula rather than
+/// transcribed, which removes any chance of a typo in 64 hex literals.
+fn k_table() -> &'static [u32; 64] {
+    use std::sync::OnceLock;
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, slot) in k.iter_mut().enumerate() {
+            *slot = ((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32;
+        }
+        k
+    })
+}
+
+/// Streaming MD5 context.
+///
+/// ```
+/// use scale_crypto::md5::Md5;
+/// let digest = Md5::digest(b"abc");
+/// assert_eq!(scale_crypto::hex(&digest), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Bytes processed so far (for the length trailer).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Create a fresh context with the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the running hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finish the hash and return the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte little-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` would keep bumping `len`; the length trailer was latched
+        // above so feeding the 8 length bytes directly is safe.
+        let mut block = [0u8; 64];
+        block[..56].copy_from_slice(&self.buf[..56]);
+        block[56..].copy_from_slice(&bit_len.to_le_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 16] {
+        let mut ctx = Md5::new();
+        ctx.update(data);
+        ctx.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k_table();
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(k[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// Convenience: MD5 of `data` truncated to a `u64` ring position
+/// (big-endian over the first 8 digest bytes).
+pub fn md5_u64(data: &[u8]) -> u64 {
+    let d = Md5::digest(data);
+    u64::from_be_bytes(d[..8].try_into().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(hex(&Md5::digest(input)), want, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 7, 63, 64, 65, 500, 999, 1000] {
+            let mut ctx = Md5::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finalize(), Md5::digest(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn u64_projection_is_stable() {
+        assert_eq!(md5_u64(b"guti-1"), md5_u64(b"guti-1"));
+        assert_ne!(md5_u64(b"guti-1"), md5_u64(b"guti-2"));
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // 3 full blocks + 5 bytes exercises the block loop and the tail path.
+        let data = vec![0xa5u8; 64 * 3 + 5];
+        let d1 = Md5::digest(&data);
+        let mut ctx = Md5::new();
+        for b in &data {
+            ctx.update(std::slice::from_ref(b));
+        }
+        assert_eq!(ctx.finalize(), d1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # scale-epc
+//!
+//! The EPC substrates the paper's testbed provided via OpenEPC, built
+//! from scratch (see DESIGN.md):
+//!
+//! - [`hss`] — subscriber database + Milenage authentication vectors;
+//! - [`sgw`] — S-GW session management and Downlink Data Notifications;
+//! - [`ue`] — the device model with USIM-side EPS AKA and the
+//!   Idle/Active behaviours that generate control-plane load;
+//! - [`enodeb`] — the eNodeB emulator (RRC bookkeeping, the eNodeB side
+//!   of every S1AP procedure, paging fan-in, handover admission);
+//! - [`harness`] — an in-process network wiring all of the above around
+//!   any [`harness::ControlPlane`] (bare MME, legacy pool, or SCALE).
+
+pub mod enodeb;
+pub mod harness;
+pub mod hss;
+pub mod sgw;
+pub mod ue;
+
+pub use enodeb::{EnbEvent, EnodeB};
+pub use harness::{ControlPlane, Lifecycle, Network};
+pub use hss::{provision_k, Hss, Subscriber, AMF, OP};
+pub use sgw::{Session, Sgw, SgwStats};
+pub use ue::{Ue, UeEvent, UeState};

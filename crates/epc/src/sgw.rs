@@ -1,0 +1,362 @@
+//! The S-GW (Serving Gateway): terminates S11 from the MME, manages
+//! per-UE data-path sessions and raises Downlink Data Notifications for
+//! Idle devices — the trigger of the paging procedure (§2 (c)).
+
+use scale_gtpc::{
+    iface_type, BearerContext, Body, Cause, Fteid, Message,
+};
+use std::collections::HashMap;
+
+/// One data-path session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub imsi: String,
+    /// MME's S11 endpoint (where we address DDNs).
+    pub mme_s11_teid: u32,
+    pub mme_addr: [u8; 4],
+    /// Our S11 TEID for this session.
+    pub sgw_s11_teid: u32,
+    /// Our S1-U endpoint handed to the eNodeB.
+    pub sgw_s1u_teid: u32,
+    /// eNodeB's S1-U endpoint (None while the device is Idle).
+    pub enb_s1u: Option<(u32, [u8; 4])>,
+    pub pdn_addr: [u8; 4],
+}
+
+/// The S-GW.
+pub struct Sgw {
+    pub addr: [u8; 4],
+    sessions: HashMap<u32, Session>,
+    by_imsi: HashMap<String, u32>,
+    next_teid: u32,
+    next_pdn: u32,
+    /// DDN sequence numbers.
+    next_seq: u32,
+    pub stats: SgwStats,
+}
+
+/// Counters for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SgwStats {
+    pub sessions_created: u64,
+    pub bearers_modified: u64,
+    pub sessions_deleted: u64,
+    pub bearers_released: u64,
+    pub ddns_sent: u64,
+}
+
+impl Sgw {
+    pub fn new(addr: [u8; 4]) -> Self {
+        Sgw {
+            addr,
+            sessions: HashMap::new(),
+            by_imsi: HashMap::new(),
+            next_teid: 1,
+            next_pdn: 1,
+            next_seq: 1,
+            stats: SgwStats::default(),
+        }
+    }
+
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Look up the session for an IMSI (tests / DDN triggering).
+    pub fn session_of(&self, imsi: &str) -> Option<&Session> {
+        self.by_imsi.get(imsi).and_then(|t| self.sessions.get(t))
+    }
+
+    /// Handle one S11 request from the MME and produce the response.
+    /// Returns `None` for fire-and-forget messages (DDN acks).
+    pub fn handle(&mut self, msg: Message) -> Option<Message> {
+        match msg.body {
+            Body::EchoRequest { recovery } => Some(Message {
+                teid: 0,
+                sequence: msg.sequence,
+                body: Body::EchoResponse { recovery },
+            }),
+            Body::CreateSessionRequest {
+                imsi,
+                sender_fteid,
+                bearer,
+                ..
+            } => {
+                // Re-create semantics: tear down any old session.
+                if let Some(old) = self.by_imsi.remove(&imsi) {
+                    self.sessions.remove(&old);
+                }
+                let sgw_s11_teid = self.alloc_teid();
+                let sgw_s1u_teid = self.alloc_teid();
+                let pdn_addr = self.alloc_pdn();
+                self.stats.sessions_created += 1;
+                let session = Session {
+                    imsi: imsi.clone(),
+                    mme_s11_teid: sender_fteid.teid,
+                    mme_addr: sender_fteid.ipv4,
+                    sgw_s11_teid,
+                    sgw_s1u_teid,
+                    enb_s1u: None,
+                    pdn_addr,
+                };
+                self.sessions.insert(sgw_s11_teid, session);
+                self.by_imsi.insert(imsi, sgw_s11_teid);
+
+                let mut bearer_out = BearerContext::new(bearer.ebi);
+                bearer_out.s1u_sgw_fteid = Some(Fteid {
+                    iface: iface_type::S1U_SGW,
+                    teid: sgw_s1u_teid,
+                    ipv4: self.addr,
+                });
+                bearer_out.cause = Some(Cause::RequestAccepted);
+                Some(Message {
+                    teid: sender_fteid.teid,
+                    sequence: msg.sequence,
+                    body: Body::CreateSessionResponse {
+                        cause: Cause::RequestAccepted,
+                        sender_fteid: Some(Fteid {
+                            iface: iface_type::S11_SGW,
+                            teid: sgw_s11_teid,
+                            ipv4: self.addr,
+                        }),
+                        paa: Some(pdn_addr),
+                        bearer: Some(bearer_out),
+                    },
+                })
+            }
+            Body::ModifyBearerRequest { bearer } => {
+                let (cause, reply_teid) = match self.sessions.get_mut(&msg.teid) {
+                    Some(s) => {
+                        if let Some(f) = bearer.s1u_enodeb_fteid {
+                            s.enb_s1u = Some((f.teid, f.ipv4));
+                        }
+                        self.stats.bearers_modified += 1;
+                        (Cause::RequestAccepted, s.mme_s11_teid)
+                    }
+                    None => (Cause::ContextNotFound, 0),
+                };
+                Some(Message {
+                    teid: reply_teid,
+                    sequence: msg.sequence,
+                    body: Body::ModifyBearerResponse {
+                        cause,
+                        bearer: None,
+                    },
+                })
+            }
+            Body::ReleaseAccessBearersRequest => {
+                let (cause, reply_teid) = match self.sessions.get_mut(&msg.teid) {
+                    Some(s) => {
+                        s.enb_s1u = None;
+                        self.stats.bearers_released += 1;
+                        (Cause::RequestAccepted, s.mme_s11_teid)
+                    }
+                    None => (Cause::ContextNotFound, 0),
+                };
+                Some(Message {
+                    teid: reply_teid,
+                    sequence: msg.sequence,
+                    body: Body::ReleaseAccessBearersResponse { cause },
+                })
+            }
+            Body::DeleteSessionRequest { .. } => {
+                let cause = match self.sessions.remove(&msg.teid) {
+                    Some(s) => {
+                        self.by_imsi.remove(&s.imsi);
+                        self.stats.sessions_deleted += 1;
+                        Cause::RequestAccepted
+                    }
+                    None => Cause::ContextNotFound,
+                };
+                Some(Message {
+                    teid: 0,
+                    sequence: msg.sequence,
+                    body: Body::DeleteSessionResponse { cause },
+                })
+            }
+            Body::DownlinkDataNotificationAck { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// A downlink packet arrived for `imsi` while its bearer is released:
+    /// produce the Downlink Data Notification toward the MME (returns
+    /// `None` if the session is unknown or the bearer is installed —
+    /// data then flows without control-plane involvement).
+    pub fn downlink_data(&mut self, imsi: &str) -> Option<Message> {
+        let teid = *self.by_imsi.get(imsi)?;
+        let session = self.sessions.get(&teid)?;
+        if session.enb_s1u.is_some() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.ddns_sent += 1;
+        Some(Message {
+            teid: session.mme_s11_teid,
+            sequence: seq,
+            body: Body::DownlinkDataNotification { ebi: 5 },
+        })
+    }
+
+    fn alloc_teid(&mut self) -> u32 {
+        let t = self.next_teid;
+        self.next_teid += 1;
+        t
+    }
+
+    fn alloc_pdn(&mut self) -> [u8; 4] {
+        let n = self.next_pdn;
+        self.next_pdn += 1;
+        [100, 64, (n >> 8) as u8, n as u8]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scale_gtpc::Ambr;
+
+    impl Sgw {
+        /// Test helper: handle and expect a response.
+        fn handle_must(&mut self, msg: Message) -> Message {
+            self.handle(msg).expect("response expected")
+        }
+    }
+
+    fn create(sgw: &mut Sgw, imsi: &str, mme_teid: u32) -> (u32, u32) {
+        let resp = sgw.handle_must(Message {
+            teid: 0,
+            sequence: 1,
+            body: Body::CreateSessionRequest {
+                imsi: imsi.into(),
+                apn: "internet".into(),
+                sender_fteid: Fteid {
+                    iface: iface_type::S11_MME,
+                    teid: mme_teid,
+                    ipv4: [10, 0, 0, 1],
+                },
+                ambr: Ambr {
+                    uplink_kbps: 1,
+                    downlink_kbps: 2,
+                },
+                bearer: BearerContext::new(5),
+            },
+        });
+        match resp.body {
+            Body::CreateSessionResponse {
+                cause,
+                sender_fteid,
+                bearer,
+                ..
+            } => {
+                assert!(cause.is_accepted());
+                (
+                    sender_fteid.unwrap().teid,
+                    bearer.unwrap().s1u_sgw_fteid.unwrap().teid,
+                )
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_modify_release_delete_lifecycle() {
+        let mut sgw = Sgw::new([10, 0, 0, 2]);
+        let (s11, _s1u) = create(&mut sgw, "001", 0x0100_0001);
+        assert_eq!(sgw.session_count(), 1);
+
+        // Install the eNodeB endpoint.
+        let mut bearer = BearerContext::new(5);
+        bearer.s1u_enodeb_fteid = Some(Fteid {
+            iface: iface_type::S1U_ENODEB,
+            teid: 99,
+            ipv4: [192, 168, 0, 1],
+        });
+        let resp = sgw.handle_must(Message {
+            teid: s11,
+            sequence: 2,
+            body: Body::ModifyBearerRequest { bearer },
+        });
+        assert!(matches!(resp.body, Body::ModifyBearerResponse { cause, .. } if cause.is_accepted()));
+        assert!(sgw.session_of("001").unwrap().enb_s1u.is_some());
+
+        // Release (device goes Idle).
+        let resp = sgw.handle_must(Message {
+            teid: s11,
+            sequence: 3,
+            body: Body::ReleaseAccessBearersRequest,
+        });
+        assert!(matches!(resp.body, Body::ReleaseAccessBearersResponse { cause } if cause.is_accepted()));
+        assert!(sgw.session_of("001").unwrap().enb_s1u.is_none());
+
+        // Delete (detach).
+        let resp = sgw.handle_must(Message {
+            teid: s11,
+            sequence: 4,
+            body: Body::DeleteSessionRequest { ebi: 5 },
+        });
+        assert!(matches!(resp.body, Body::DeleteSessionResponse { cause } if cause.is_accepted()));
+        assert_eq!(sgw.session_count(), 0);
+    }
+
+    #[test]
+    fn ddn_only_when_idle() {
+        let mut sgw = Sgw::new([10, 0, 0, 2]);
+        let (s11, _) = create(&mut sgw, "002", 0x0100_0002);
+        // Idle (no eNB endpoint): DDN is raised toward the MME's TEID.
+        let ddn = sgw.downlink_data("002").unwrap();
+        assert_eq!(ddn.teid, 0x0100_0002);
+        assert!(matches!(ddn.body, Body::DownlinkDataNotification { .. }));
+
+        // Install the bearer → no DDN.
+        let mut bearer = BearerContext::new(5);
+        bearer.s1u_enodeb_fteid = Some(Fteid {
+            iface: iface_type::S1U_ENODEB,
+            teid: 1,
+            ipv4: [1, 1, 1, 1],
+        });
+        sgw.handle_must(Message {
+            teid: s11,
+            sequence: 5,
+            body: Body::ModifyBearerRequest { bearer },
+        });
+        assert!(sgw.downlink_data("002").is_none());
+        assert!(sgw.downlink_data("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_teid_rejected() {
+        let mut sgw = Sgw::new([10, 0, 0, 2]);
+        let resp = sgw.handle_must(Message {
+            teid: 777,
+            sequence: 1,
+            body: Body::ModifyBearerRequest {
+                bearer: BearerContext::new(5),
+            },
+        });
+        assert!(
+            matches!(resp.body, Body::ModifyBearerResponse { cause: Cause::ContextNotFound, .. })
+        );
+    }
+
+    #[test]
+    fn recreate_replaces_session() {
+        let mut sgw = Sgw::new([10, 0, 0, 2]);
+        create(&mut sgw, "003", 1);
+        create(&mut sgw, "003", 2);
+        assert_eq!(sgw.session_count(), 1);
+        assert_eq!(sgw.stats.sessions_created, 2);
+    }
+
+    #[test]
+    fn pdn_addresses_are_unique() {
+        let mut sgw = Sgw::new([10, 0, 0, 2]);
+        let mut addrs = std::collections::BTreeSet::new();
+        for i in 0..300 {
+            create(&mut sgw, &format!("{i}"), i);
+            addrs.insert(sgw.session_of(&format!("{i}")).unwrap().pdn_addr);
+        }
+        assert_eq!(addrs.len(), 300);
+    }
+}

@@ -1,0 +1,187 @@
+//! Cursor helpers and error type for the GTPv2-C wire format.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decode failure: what was being parsed and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes while `what` still needed `needed` more.
+    Truncated { what: &'static str, needed: usize },
+    /// A field held a value the decoder cannot interpret.
+    Invalid { what: &'static str, value: u64 },
+    /// A mandatory IE was absent from the message.
+    MissingIe { msg: &'static str, ie: &'static str },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what, needed } => {
+                write!(f, "truncated while reading {what}: {needed} more bytes needed")
+            }
+            DecodeError::Invalid { what, value } => {
+                write!(f, "invalid {what}: {value:#x}")
+            }
+            DecodeError::MissingIe { msg, ie } => {
+                write!(f, "{msg} missing mandatory IE {ie}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Checked big-endian reader over [`Bytes`].
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    pub fn need(&self, what: &'static str, n: usize) -> Result<(), DecodeError> {
+        if self.buf.remaining() < n {
+            Err(DecodeError::Truncated {
+                what,
+                needed: n - self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
+        self.need(what, 1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
+        self.need(what, 2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    pub fn u24(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        self.need(what, 3)?;
+        let hi = self.buf.get_u8() as u32;
+        let lo = self.buf.get_u16() as u32;
+        Ok((hi << 16) | lo)
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
+        self.need(what, 4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
+        self.need(what, 8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    pub fn bytes(&mut self, what: &'static str, n: usize) -> Result<Bytes, DecodeError> {
+        self.need(what, n)?;
+        Ok(self.buf.copy_to_bytes(n))
+    }
+
+    pub fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], DecodeError> {
+        self.need(what, N)?;
+        let mut out = [0u8; N];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    pub fn rest(&mut self) -> Bytes {
+        let n = self.buf.remaining();
+        self.buf.copy_to_bytes(n)
+    }
+}
+
+/// Big-endian writer.
+pub struct Writer {
+    pub buf: BytesMut,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(128),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    pub fn u24(&mut self, v: u32) {
+        debug_assert!(v < 1 << 24);
+        self.buf.put_u8((v >> 16) as u8);
+        self.buf.put_u16(v as u16);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    pub fn slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reports_truncation_with_deficit() {
+        let mut r = Reader::new(Bytes::from_static(&[1, 2]));
+        assert_eq!(r.u8("a").unwrap(), 1);
+        let err = r.u32("field").unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                what: "field",
+                needed: 3
+            }
+        );
+    }
+
+    #[test]
+    fn u24_roundtrip() {
+        let mut w = Writer::new();
+        w.u24(0x0a_bc_de);
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.u24("x").unwrap(), 0x0a_bc_de);
+    }
+
+    #[test]
+    fn array_and_rest() {
+        let mut r = Reader::new(Bytes::from_static(&[1, 2, 3, 4, 5]));
+        let a: [u8; 2] = r.array("head").unwrap();
+        assert_eq!(a, [1, 2]);
+        assert_eq!(&r.rest()[..], &[3, 4, 5]);
+    }
+}

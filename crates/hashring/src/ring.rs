@@ -1,0 +1,425 @@
+//! The consistent hash ring with virtual-node tokens (§4.3.1 of the paper).
+//!
+//! Each MMP VM is represented by `tokens` pseudo-random points on a
+//! 64-bit ring keyed by MD5 (the prototype hashed GUTIs with MD5 onto the
+//! ring). A device key is owned by the first node point at or clockwise
+//! after the key's position ("master MMP"); replicas live on the next
+//! *distinct* nodes along the ring, which is what spreads one VM's
+//! replicas across many peers and avoids the SIMPLE system's pairwise
+//! hot-spot (§5.1 E3).
+
+use scale_crypto::md5::Md5;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Anything that can be placed on (or looked up in) the ring.
+pub trait RingKey {
+    /// Stable byte representation hashed onto the ring.
+    fn ring_bytes(&self) -> Vec<u8>;
+}
+
+impl RingKey for &str {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl RingKey for String {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl RingKey for u32 {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.to_be_bytes().to_vec()
+    }
+}
+
+impl RingKey for u64 {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.to_be_bytes().to_vec()
+    }
+}
+
+impl RingKey for Vec<u8> {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+}
+
+impl RingKey for [u8; 8] {
+    fn ring_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+/// Hash arbitrary bytes to a 64-bit ring position (big-endian prefix of
+/// the MD5 digest, matching the prototype's use of MD5).
+pub fn ring_position(bytes: &[u8]) -> u64 {
+    let d = Md5::digest(bytes);
+    u64::from_be_bytes(d[..8].try_into().unwrap())
+}
+
+/// Position of token `idx` for node `node_bytes`.
+fn token_position(node_bytes: &[u8], idx: u32, salt: u32) -> u64 {
+    let mut ctx = Md5::new();
+    ctx.update(node_bytes);
+    ctx.update(b":");
+    ctx.update(&idx.to_be_bytes());
+    if salt != 0 {
+        ctx.update(b"#");
+        ctx.update(&salt.to_be_bytes());
+    }
+    let d = ctx.finalize();
+    u64::from_be_bytes(d[..8].try_into().unwrap())
+}
+
+/// A consistent hash ring mapping 64-bit positions to nodes of type `N`.
+///
+/// ```
+/// use scale_hashring::HashRing;
+/// let mut ring: HashRing<String> = HashRing::new(5);
+/// ring.add_node("mmp-a".to_string());
+/// ring.add_node("mmp-b".to_string());
+/// let owner = ring.primary(&"guti-123").unwrap();
+/// assert!(owner == "mmp-a" || owner == "mmp-b");
+/// // Master + replica walk returns distinct nodes.
+/// let nodes = ring.replicas(&"guti-123", 2);
+/// assert_eq!(nodes.len(), 2);
+/// assert_ne!(nodes[0], nodes[1]);
+/// ```
+#[derive(Clone)]
+pub struct HashRing<N: Clone + Eq + Ord + RingKey> {
+    points: BTreeMap<u64, N>,
+    nodes: Vec<N>,
+    tokens: u32,
+}
+
+impl<N: Clone + Eq + Ord + RingKey + fmt::Debug> fmt::Debug for HashRing<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashRing")
+            .field("nodes", &self.nodes)
+            .field("tokens", &self.tokens)
+            .field("points", &self.points.len())
+            .finish()
+    }
+}
+
+impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
+    /// Create an empty ring with `tokens` virtual nodes per physical node.
+    /// `tokens = 1` degenerates to "basic consistent hashing without
+    /// tokens", the baseline contrasted in Fig 10(a).
+    pub fn new(tokens: u32) -> Self {
+        assert!(tokens >= 1, "at least one token per node");
+        HashRing {
+            points: BTreeMap::new(),
+            nodes: Vec::new(),
+            tokens,
+        }
+    }
+
+    /// Number of tokens per node.
+    pub fn tokens_per_node(&self) -> u32 {
+        self.tokens
+    }
+
+    /// Current nodes, in insertion order.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// Number of physical nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node has been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node, inserting its token points. Idempotent: adding a node
+    /// that is already present is a no-op. Token collisions with existing
+    /// points are resolved deterministically by re-salting, so two rings
+    /// built with the same node sequence are identical.
+    pub fn add_node(&mut self, node: N) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        let bytes = node.ring_bytes();
+        for idx in 0..self.tokens {
+            let mut salt = 0u32;
+            loop {
+                let pos = token_position(&bytes, idx, salt);
+                if !self.points.contains_key(&pos) {
+                    self.points.insert(pos, node.clone());
+                    break;
+                }
+                salt += 1;
+            }
+        }
+        self.nodes.push(node);
+    }
+
+    /// Remove a node and all its token points. Returns true if present.
+    pub fn remove_node(&mut self, node: &N) -> bool {
+        let Some(idx) = self.nodes.iter().position(|n| n == node) else {
+            return false;
+        };
+        self.nodes.remove(idx);
+        self.points.retain(|_, n| n != node);
+        true
+    }
+
+    /// The node owning ring position `pos`: first token at or clockwise
+    /// after `pos`, wrapping around.
+    pub fn node_at(&self, pos: u64) -> Option<&N> {
+        self.points
+            .range(pos..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, n)| n)
+    }
+
+    /// Master node for `key` (the "master MMP" of §4.3.1).
+    pub fn primary<K: RingKey + ?Sized>(&self, key: &K) -> Option<&N> {
+        self.node_at(ring_position(&key.ring_bytes()))
+    }
+
+    /// Walk clockwise from `key`'s position collecting up to `r`
+    /// *distinct* nodes: the master followed by replica holders.
+    /// Returns fewer than `r` nodes when the ring has fewer nodes.
+    pub fn replicas<K: RingKey + ?Sized>(&self, key: &K, r: usize) -> Vec<&N> {
+        self.replicas_at(ring_position(&key.ring_bytes()), r)
+    }
+
+    /// As [`Self::replicas`], starting from an explicit ring position.
+    pub fn replicas_at(&self, pos: u64, r: usize) -> Vec<&N> {
+        let mut out: Vec<&N> = Vec::with_capacity(r);
+        if self.points.is_empty() || r == 0 {
+            return out;
+        }
+        for (_, n) in self.points.range(pos..).chain(self.points.iter()) {
+            if !out.contains(&n) {
+                out.push(n);
+                if out.len() == r || out.len() == self.nodes.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// All ring arcs as `(start, end, owner)`: the owner holds keys whose
+    /// position lies in the half-open arc `(start, end]` walking
+    /// clockwise (with wrap-around on the final arc). Used to compute the
+    /// state-transfer set when VMs are added or removed.
+    pub fn arcs(&self) -> Vec<(u64, u64, &N)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let pts: Vec<(&u64, &N)> = self.points.iter().collect();
+        let mut arcs = Vec::with_capacity(pts.len());
+        for i in 0..pts.len() {
+            let prev = if i == 0 {
+                *pts[pts.len() - 1].0
+            } else {
+                *pts[i - 1].0
+            };
+            arcs.push((prev, *pts[i].0, pts[i].1));
+        }
+        arcs
+    }
+
+    /// Raw token points (position → node), mainly for tests and tooling.
+    pub fn points(&self) -> impl Iterator<Item = (u64, &N)> {
+        self.points.iter().map(|(p, n)| (*p, n))
+    }
+}
+
+/// Which keys move when the ring changes from `old` to `new`?
+///
+/// Returns, for a sample iterator of keys, the subset whose primary owner
+/// differs between the rings, with `(key, old_owner, new_owner)`. SCALE
+/// uses this during epoch re-provisioning to enumerate the device states
+/// that must be transferred between MMPs.
+pub fn moved_keys<'a, N, K, I>(
+    old: &'a HashRing<N>,
+    new: &'a HashRing<N>,
+    keys: I,
+) -> Vec<(K, Option<&'a N>, Option<&'a N>)>
+where
+    N: Clone + Eq + Ord + RingKey,
+    K: RingKey,
+    I: IntoIterator<Item = K>,
+{
+    let mut out = Vec::new();
+    for key in keys {
+        let pos = ring_position(&key.ring_bytes());
+        let before = old.node_at(pos);
+        let after = new.node_at(pos);
+        if before != after {
+            out.push((key, before, after));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(names: &[&str], tokens: u32) -> HashRing<String> {
+        let mut r = HashRing::new(tokens);
+        for n in names {
+            r.add_node(n.to_string());
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_has_no_owner() {
+        let r: HashRing<String> = HashRing::new(4);
+        assert!(r.primary(&"key").is_none());
+        assert!(r.replicas(&"key", 2).is_empty());
+        assert!(r.arcs().is_empty());
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let r = ring_with(&["only"], 8);
+        for i in 0..100u32 {
+            assert_eq!(r.primary(&i).unwrap(), "only");
+        }
+        assert_eq!(r.replicas(&"x", 3).len(), 1);
+    }
+
+    #[test]
+    fn add_is_idempotent_and_remove_works() {
+        let mut r = ring_with(&["a", "b"], 5);
+        let points_before = r.points().count();
+        r.add_node("a".to_string());
+        assert_eq!(r.points().count(), points_before);
+        assert!(r.remove_node(&"b".to_string()));
+        assert!(!r.remove_node(&"b".to_string()));
+        assert_eq!(r.len(), 1);
+        for i in 0..50u32 {
+            assert_eq!(r.primary(&i).unwrap(), "a");
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_start_with_primary() {
+        let r = ring_with(&["a", "b", "c", "d", "e"], 5);
+        for i in 0..200u32 {
+            let reps = r.replicas(&i, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], r.primary(&i).unwrap());
+            assert_ne!(reps[0], reps[1]);
+            assert_ne!(reps[1], reps[2]);
+            assert_ne!(reps[0], reps[2]);
+        }
+    }
+
+    #[test]
+    fn replicas_capped_at_node_count() {
+        let r = ring_with(&["a", "b"], 5);
+        assert_eq!(r.replicas(&"k", 5).len(), 2);
+    }
+
+    #[test]
+    fn adding_node_only_steals_keys_for_itself() {
+        // Consistency property: when a node joins, every key either keeps
+        // its owner or moves *to the new node* — never between old nodes.
+        let old = ring_with(&["a", "b", "c"], 8);
+        let mut new = old.clone();
+        new.add_node("d".to_string());
+        let moved = moved_keys(&old, &new, 0..5000u32);
+        assert!(!moved.is_empty(), "some keys should move to the new node");
+        for (k, _, after) in &moved {
+            assert_eq!(*after.unwrap(), "d", "key {k} moved to a non-new node");
+        }
+    }
+
+    #[test]
+    fn removing_node_only_moves_its_own_keys() {
+        let old = ring_with(&["a", "b", "c", "d"], 8);
+        let mut new = old.clone();
+        new.remove_node(&"c".to_string());
+        let moved = moved_keys(&old, &new, 0..5000u32);
+        for (k, before, _) in &moved {
+            assert_eq!(*before.unwrap(), "c", "key {k} moved but was not on c");
+        }
+    }
+
+    #[test]
+    fn tokens_spread_replica_targets() {
+        // With tokens, the replicas of one node's keys should land on
+        // several distinct peers (§5.1 E3) — the token-less ring pins all
+        // replicas to the single ring successor.
+        let with_tokens = ring_with(&["a", "b", "c", "d", "e"], 16);
+        let token_less = ring_with(&["a", "b", "c", "d", "e"], 1);
+        let spread = |r: &HashRing<String>| {
+            let mut partners = std::collections::BTreeSet::new();
+            for i in 0..5000u32 {
+                let reps = r.replicas(&i, 2);
+                if reps.len() == 2 && reps[0] == "a" {
+                    partners.insert(reps[1].clone());
+                }
+            }
+            partners.len()
+        };
+        assert_eq!(spread(&token_less), 1, "token-less: single successor");
+        assert!(
+            spread(&with_tokens) >= 3,
+            "tokens must spread replicas over several peers"
+        );
+    }
+
+    #[test]
+    fn balance_improves_with_tokens() {
+        let count_keys = |r: &HashRing<String>| {
+            let mut counts = std::collections::BTreeMap::new();
+            for i in 0..20000u32 {
+                *counts.entry(r.primary(&i).unwrap().clone()).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let many = ring_with(&["a", "b", "c", "d", "e"], 64);
+        let counts = count_keys(&many);
+        let max = *counts.values().max().unwrap() as f64;
+        let min = *counts.values().min().unwrap() as f64;
+        assert!(
+            max / min < 2.5,
+            "64 tokens should bound imbalance, got max/min = {}",
+            max / min
+        );
+    }
+
+    #[test]
+    fn arcs_cover_the_ring_and_match_ownership() {
+        let r = ring_with(&["a", "b", "c"], 4);
+        let arcs = r.arcs();
+        assert_eq!(arcs.len(), 12);
+        // Each arc's owner must agree with node_at of the arc end.
+        for (_, end, owner) in &arcs {
+            assert_eq!(r.node_at(*end).unwrap(), *owner);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let r1 = ring_with(&["a", "b", "c"], 7);
+        let r2 = ring_with(&["a", "b", "c"], 7);
+        for i in 0..1000u32 {
+            assert_eq!(r1.primary(&i), r2.primary(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_tokens_rejected() {
+        let _: HashRing<String> = HashRing::new(0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Per-UE state — the "state" of §2 of the paper: what the MME stores
+//! per registered device, what SCALE partitions with consistent hashing
+//! and replicates across MMP VMs.
+//!
+//! The context carries a compact binary serialization
+//! ([`UeContext::to_bytes`] / [`UeContext::from_bytes`]) because SCALE
+//! ships it between MMPs (intra-DC replication, §4.3.2), across DCs
+//! (geo-replication, §4.5.2) and during ring re-partitioning.
+
+use crate::MmeError;
+use bytes::Bytes;
+use scale_crypto::kdf::NasSecurityKeys;
+use scale_nas::security::NasSecurityContext;
+use scale_nas::wire::{Reader, Writer};
+use scale_nas::{Guti, Tai};
+
+/// EMM registration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmmState {
+    Deregistered,
+    /// Attach in progress (authentication / SMC / session setup).
+    Registering,
+    Registered,
+}
+
+/// ECM connection state — the Active/Idle distinction that drives both
+/// MME compute load and SCALE's replication points (state is synced to
+/// replicas when a device returns to Idle, §4.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcmState {
+    Idle,
+    /// Signalling connection being established.
+    Connecting,
+    Connected,
+}
+
+/// Progress marker for the multi-step attach / service procedures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Procedure {
+    None,
+    /// Waiting for the HSS authentication vector (S6a AIA).
+    AwaitAuthVector,
+    /// Waiting for the UE's Authentication Response.
+    AwaitAuthResponse,
+    /// Waiting for Security Mode Complete.
+    AwaitSmcComplete,
+    /// Waiting for the HSS Update Location Answer.
+    AwaitUpdateLocation,
+    /// Waiting for S11 Create Session Response.
+    AwaitCreateSession,
+    /// Waiting for Initial Context Setup Response.
+    AwaitContextSetup,
+    /// Waiting for Attach Complete.
+    AwaitAttachComplete,
+    /// Waiting for Modify Bearer Response.
+    AwaitModifyBearer,
+    /// Waiting for the S1 Release to complete.
+    AwaitReleaseComplete,
+    /// Waiting for Delete Session Response during detach.
+    AwaitDeleteSession,
+    /// Waiting for the target eNodeB's Handover Request Ack.
+    AwaitHandoverAck,
+    /// Waiting for Handover Notify from the target.
+    AwaitHandoverNotify,
+    /// Waiting for a paging response (service request).
+    Paging,
+}
+
+/// Default bearer + data-path endpoints for one UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BearerState {
+    pub ebi: u8,
+    /// Our S11 TEID (embeds the MMP VM id under SCALE).
+    pub s11_mme_teid: u32,
+    /// S-GW's S11 TEID.
+    pub s11_sgw_teid: u32,
+    /// S-GW's S1-U endpoint handed to the eNodeB.
+    pub s1u_sgw_teid: u32,
+    pub s1u_sgw_addr: [u8; 4],
+    /// UE's PDN IPv4 address.
+    pub pdn_addr: [u8; 4],
+}
+
+/// Everything the MME holds for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UeContext {
+    pub imsi: String,
+    pub guti: Guti,
+    pub emm: EmmState,
+    pub ecm: EcmState,
+    pub procedure: Procedure,
+    /// MME-side S1AP id (embeds the MMP VM id under SCALE).
+    pub mme_ue_id: u32,
+    /// eNodeB-side S1AP id (valid while Connected).
+    pub enb_ue_id: u32,
+    /// Serving eNodeB (valid while Connected).
+    pub enb_id: u32,
+    pub tai: Tai,
+    pub tai_list: Vec<Tai>,
+    pub bearer: BearerState,
+    /// Established NAS security context.
+    pub security: Option<NasSecurityContext>,
+    /// In-flight AKA: expected RES and the vector's K_ASME.
+    pub pending_xres: Option<[u8; 8]>,
+    pub pending_kasme: Option<[u8; 32]>,
+    /// Access frequency w_i (EWMA of per-epoch activity, §4.5): drives
+    /// access-aware replication decisions.
+    pub access_freq: f64,
+    /// Requests observed in the current epoch (folded into
+    /// `access_freq` at the epoch boundary).
+    pub epoch_accesses: u32,
+    /// Remote DC holding an external replica, if any (§4.5.2).
+    pub external_replica_dc: Option<u16>,
+}
+
+impl UeContext {
+    pub fn new(imsi: String, guti: Guti, tai: Tai) -> Self {
+        UeContext {
+            imsi,
+            guti,
+            emm: EmmState::Deregistered,
+            ecm: EcmState::Idle,
+            procedure: Procedure::None,
+            mme_ue_id: 0,
+            enb_ue_id: 0,
+            enb_id: 0,
+            tai,
+            tai_list: vec![tai],
+            bearer: BearerState::default(),
+            security: None,
+            pending_xres: None,
+            pending_kasme: None,
+            access_freq: 0.0,
+            epoch_accesses: 0,
+            external_replica_dc: None,
+        }
+    }
+
+    /// Record one request in this epoch (for access-frequency profiling).
+    pub fn record_access(&mut self) {
+        self.epoch_accesses = self.epoch_accesses.saturating_add(1);
+    }
+
+    /// Fold the epoch's activity into the moving-average access
+    /// frequency: w ← α·[active this epoch] + (1−α)·w, the profiling
+    /// described in §4.5.
+    pub fn close_epoch(&mut self, alpha: f64) {
+        let active = if self.epoch_accesses > 0 { 1.0 } else { 0.0 };
+        self.access_freq = alpha * active + (1.0 - alpha) * self.access_freq;
+        self.epoch_accesses = 0;
+    }
+
+    /// Serialize for replication / state transfer. Transient procedure
+    /// state is intentionally *not* shipped: SCALE replicates on the
+    /// Active→Idle edge, where no procedure is in flight (§4.6).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.lv(self.imsi.as_bytes());
+        self.guti.encode(&mut w);
+        w.u8(match self.emm {
+            EmmState::Deregistered => 0,
+            EmmState::Registering => 1,
+            EmmState::Registered => 2,
+        });
+        w.u32(self.mme_ue_id);
+        self.tai.encode(&mut w);
+        w.u8(self.tai_list.len() as u8);
+        for t in &self.tai_list {
+            t.encode(&mut w);
+        }
+        // Bearer.
+        w.u8(self.bearer.ebi);
+        w.u32(self.bearer.s11_mme_teid);
+        w.u32(self.bearer.s11_sgw_teid);
+        w.u32(self.bearer.s1u_sgw_teid);
+        w.slice(&self.bearer.s1u_sgw_addr);
+        w.slice(&self.bearer.pdn_addr);
+        // Security context.
+        match &self.security {
+            None => w.u8(0),
+            Some(sec) => {
+                w.u8(1);
+                w.slice(&sec.keys.kasme);
+                w.slice(&sec.keys.k_nas_enc);
+                w.slice(&sec.keys.k_nas_int);
+                w.u32(sec.ul_count);
+                w.u32(sec.dl_count);
+                w.u8(sec.ksi);
+            }
+        }
+        w.u64(self.access_freq.to_bits());
+        match self.external_replica_dc {
+            None => w.u8(0),
+            Some(dc) => {
+                w.u8(1);
+                w.u16(dc);
+            }
+        }
+        w.finish()
+    }
+
+    /// Inverse of [`Self::to_bytes`]. Restored contexts come back Idle
+    /// with no procedure in flight.
+    pub fn from_bytes(buf: Bytes) -> Result<UeContext, MmeError> {
+        let mut r = Reader::new(buf);
+        let imsi = r.lv_str("imsi")?;
+        let guti = Guti::decode(&mut r)?;
+        let emm = match r.u8("emm state")? {
+            0 => EmmState::Deregistered,
+            1 => EmmState::Registering,
+            2 => EmmState::Registered,
+            v => {
+                return Err(MmeError::BadState(format!("emm state {v}")));
+            }
+        };
+        let mme_ue_id = r.u32("mme ue id")?;
+        let tai = Tai::decode(&mut r)?;
+        let n = r.u8("tai list len")? as usize;
+        let mut tai_list = Vec::with_capacity(n);
+        for _ in 0..n {
+            tai_list.push(Tai::decode(&mut r)?);
+        }
+        let bearer = BearerState {
+            ebi: r.u8("ebi")?,
+            s11_mme_teid: r.u32("s11 mme teid")?,
+            s11_sgw_teid: r.u32("s11 sgw teid")?,
+            s1u_sgw_teid: r.u32("s1u teid")?,
+            s1u_sgw_addr: r.array("s1u addr")?,
+            pdn_addr: r.array("pdn addr")?,
+        };
+        let security = match r.u8("security present")? {
+            0 => None,
+            _ => {
+                let kasme: [u8; 32] = r.array("kasme")?;
+                let k_nas_enc: [u8; 16] = r.array("k_nas_enc")?;
+                let k_nas_int: [u8; 16] = r.array("k_nas_int")?;
+                let ul_count = r.u32("ul count")?;
+                let dl_count = r.u32("dl count")?;
+                let ksi = r.u8("ksi")?;
+                let mut ctx = NasSecurityContext::new(
+                    NasSecurityKeys {
+                        kasme,
+                        k_nas_enc,
+                        k_nas_int,
+                    },
+                    ksi,
+                );
+                ctx.ul_count = ul_count;
+                ctx.dl_count = dl_count;
+                Some(ctx)
+            }
+        };
+        let access_freq = f64::from_bits(r.u64("access freq")?);
+        let external_replica_dc = match r.u8("ext replica present")? {
+            0 => None,
+            _ => Some(r.u16("ext replica dc")?),
+        };
+        Ok(UeContext {
+            imsi,
+            guti,
+            emm,
+            ecm: EcmState::Idle,
+            procedure: Procedure::None,
+            mme_ue_id,
+            enb_ue_id: 0,
+            enb_id: 0,
+            tai,
+            tai_list,
+            bearer,
+            security,
+            pending_xres: None,
+            pending_kasme: None,
+            access_freq,
+            epoch_accesses: 0,
+            external_replica_dc,
+        })
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the provisioner
+    /// when sizing MMP memory (the `S` of Eq 1).
+    pub fn state_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scale_crypto::kdf::derive_nas_keys;
+    use scale_nas::Plmn;
+
+    fn sample() -> UeContext {
+        let guti = Guti {
+            plmn: Plmn::test(),
+            mme_group_id: 0x8001,
+            mme_code: 2,
+            m_tmsi: 1234,
+        };
+        let mut ctx = UeContext::new("001010000000001".into(), guti, Tai::new(Plmn::test(), 5));
+        ctx.emm = EmmState::Registered;
+        ctx.mme_ue_id = 0x0200_0001;
+        ctx.bearer = BearerState {
+            ebi: 5,
+            s11_mme_teid: 0x0200_0001,
+            s11_sgw_teid: 99,
+            s1u_sgw_teid: 100,
+            s1u_sgw_addr: [10, 0, 0, 2],
+            pdn_addr: [100, 64, 0, 7],
+        };
+        let keys = derive_nas_keys(&[1; 16], &[2; 16], &[0, 1, 2], &[3; 6]);
+        let mut sec = NasSecurityContext::new(keys, 1);
+        sec.ul_count = 17;
+        sec.dl_count = 9;
+        ctx.security = Some(sec);
+        ctx.access_freq = 0.625;
+        ctx.external_replica_dc = Some(3);
+        ctx
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ctx = sample();
+        let back = UeContext::from_bytes(ctx.to_bytes()).unwrap();
+        assert_eq!(back.imsi, ctx.imsi);
+        assert_eq!(back.guti, ctx.guti);
+        assert_eq!(back.emm, ctx.emm);
+        assert_eq!(back.bearer, ctx.bearer);
+        assert_eq!(back.security, ctx.security);
+        assert_eq!(back.access_freq, ctx.access_freq);
+        assert_eq!(back.external_replica_dc, Some(3));
+        // Restored contexts are Idle with no procedure.
+        assert_eq!(back.ecm, EcmState::Idle);
+        assert_eq!(back.procedure, Procedure::None);
+    }
+
+    #[test]
+    fn roundtrip_without_security() {
+        let mut ctx = sample();
+        ctx.security = None;
+        ctx.external_replica_dc = None;
+        let back = UeContext::from_bytes(ctx.to_bytes()).unwrap();
+        assert!(back.security.is_none());
+        assert!(back.external_replica_dc.is_none());
+    }
+
+    #[test]
+    fn access_frequency_ewma() {
+        let mut ctx = sample();
+        ctx.access_freq = 0.0;
+        // Active for 3 epochs with α = 0.5: w = 0.5, 0.75, 0.875.
+        for want in [0.5, 0.75, 0.875] {
+            ctx.record_access();
+            ctx.close_epoch(0.5);
+            assert!((ctx.access_freq - want).abs() < 1e-9);
+        }
+        // Then dormant: decays toward 0.
+        ctx.close_epoch(0.5);
+        assert!((ctx.access_freq - 0.4375).abs() < 1e-9);
+        assert_eq!(ctx.epoch_accesses, 0);
+    }
+
+    #[test]
+    fn state_size_is_plausible() {
+        let size = sample().state_size();
+        // Keys + ids + bearer: on the order of 100–200 bytes.
+        assert!(size > 80 && size < 400, "unexpected state size {size}");
+    }
+
+    #[test]
+    fn corrupt_state_rejected() {
+        let bytes = sample().to_bytes();
+        let truncated = bytes.slice(..bytes.len() / 2);
+        assert!(UeContext::from_bytes(truncated).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! LTE identities: IMSI, GUTI, TAI and the PLMN id.
+//!
+//! The GUTI is load-bearing for SCALE: the paper's MLB hashes the GUTI
+//! onto the consistent hash ring to find a device's master MMP, and the
+//! MME id embedded in the GUTI is what pins a device to one MME in the
+//! legacy (3GPP-pool) baseline (§3.1 "Static Assignment").
+
+use crate::wire::{NasError, Reader, Writer};
+
+/// A PLMN identity (MCC + MNC), stored in its 3-byte BCD wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Plmn(pub [u8; 3]);
+
+impl Plmn {
+    /// Build from MCC/MNC digit strings (MNC of 2 or 3 digits).
+    pub fn new(mcc: &str, mnc: &str) -> Self {
+        let d = |s: &str, i: usize| s.as_bytes()[i] - b'0';
+        let mcc1 = d(mcc, 0);
+        let mcc2 = d(mcc, 1);
+        let mcc3 = d(mcc, 2);
+        let (mnc1, mnc2, mnc3) = if mnc.len() == 2 {
+            (d(mnc, 0), d(mnc, 1), 0xf)
+        } else {
+            (d(mnc, 0), d(mnc, 1), d(mnc, 2))
+        };
+        Plmn([
+            (mcc2 << 4) | mcc1,
+            (mnc3 << 4) | mcc3,
+            (mnc2 << 4) | mnc1,
+        ])
+    }
+
+    /// The test network 001/01.
+    pub fn test() -> Self {
+        Plmn::new("001", "01")
+    }
+}
+
+/// Globally Unique Temporary Identity (TS 23.003 §2.8): identifies both
+/// the device and the MME that allocated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Guti {
+    pub plmn: Plmn,
+    /// MME group within the PLMN.
+    pub mme_group_id: u16,
+    /// MME code within the group — in the legacy pool this is what routes
+    /// every subsequent request back to the same MME.
+    pub mme_code: u8,
+    /// Temporary subscriber id unique within the MME.
+    pub m_tmsi: u32,
+}
+
+impl Guti {
+    pub const WIRE_LEN: usize = 10;
+
+    /// Canonical 10-byte wire encoding — also the byte string SCALE's
+    /// MLB hashes onto the consistent hash ring.
+    pub fn to_bytes(&self) -> [u8; 10] {
+        let mut out = [0u8; 10];
+        out[..3].copy_from_slice(&self.plmn.0);
+        out[3..5].copy_from_slice(&self.mme_group_id.to_be_bytes());
+        out[5] = self.mme_code;
+        out[6..10].copy_from_slice(&self.m_tmsi.to_be_bytes());
+        out
+    }
+
+    pub fn from_bytes(b: &[u8; 10]) -> Self {
+        Guti {
+            plmn: Plmn(b[..3].try_into().unwrap()),
+            mme_group_id: u16::from_be_bytes(b[3..5].try_into().unwrap()),
+            mme_code: b[5],
+            m_tmsi: u32::from_be_bytes(b[6..10].try_into().unwrap()),
+        }
+    }
+
+    pub fn encode(&self, w: &mut Writer) {
+        w.slice(&self.to_bytes());
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self, NasError> {
+        let b: [u8; 10] = r.array("guti")?;
+        Ok(Guti::from_bytes(&b))
+    }
+}
+
+/// Tracking Area Identity: PLMN + 16-bit tracking area code. Paging
+/// fans out to every eNodeB in the device's TA (§2, Paging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tai {
+    pub plmn: Plmn,
+    pub tac: u16,
+}
+
+impl Tai {
+    pub const WIRE_LEN: usize = 5;
+
+    pub fn new(plmn: Plmn, tac: u16) -> Self {
+        Tai { plmn, tac }
+    }
+
+    pub fn encode(&self, w: &mut Writer) {
+        w.slice(&self.plmn.0);
+        w.u16(self.tac);
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self, NasError> {
+        let plmn: [u8; 3] = r.array("tai plmn")?;
+        let tac = r.u16("tac")?;
+        Ok(Tai {
+            plmn: Plmn(plmn),
+            tac,
+        })
+    }
+}
+
+/// EPS mobile identity: either a permanent IMSI (first attach) or a
+/// previously-allocated GUTI (re-attach / TAU / service request).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MobileId {
+    Imsi(String),
+    Guti(Guti),
+}
+
+impl MobileId {
+    const TAG_IMSI: u8 = 1;
+    const TAG_GUTI: u8 = 6;
+
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            MobileId::Imsi(digits) => {
+                w.u8(Self::TAG_IMSI);
+                let bcd = encode_bcd(digits);
+                w.lv(&bcd);
+            }
+            MobileId::Guti(guti) => {
+                w.u8(Self::TAG_GUTI);
+                guti.encode(w);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader) -> Result<Self, NasError> {
+        match r.u8("mobile id tag")? {
+            Self::TAG_IMSI => {
+                let bcd = r.lv("imsi bcd")?;
+                Ok(MobileId::Imsi(decode_bcd(&bcd)))
+            }
+            Self::TAG_GUTI => Ok(MobileId::Guti(Guti::decode(r)?)),
+            other => Err(NasError::Invalid {
+                what: "mobile id tag",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+/// BCD digit packing (low nibble first, 0xf filler on odd counts).
+pub fn encode_bcd(digits: &str) -> Vec<u8> {
+    let d: Vec<u8> = digits
+        .bytes()
+        .filter(|b| b.is_ascii_digit())
+        .map(|b| b - b'0')
+        .collect();
+    d.chunks(2)
+        .map(|pair| {
+            let lo = pair[0];
+            let hi = if pair.len() == 2 { pair[1] } else { 0xf };
+            (hi << 4) | lo
+        })
+        .collect()
+}
+
+/// Inverse of [`encode_bcd`].
+pub fn decode_bcd(data: &[u8]) -> String {
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let lo = b & 0x0f;
+        let hi = b >> 4;
+        if lo != 0xf {
+            s.push((b'0' + lo) as char);
+        }
+        if hi != 0xf {
+            s.push((b'0' + hi) as char);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn plmn_two_and_three_digit_mnc() {
+        let p2 = Plmn::new("310", "17");
+        let p3 = Plmn::new("310", "170");
+        assert_ne!(p2, p3);
+        // MCC digits land in the documented nibbles.
+        assert_eq!(p2.0[0], 0x13);
+    }
+
+    #[test]
+    fn guti_roundtrip() {
+        let guti = Guti {
+            plmn: Plmn::test(),
+            mme_group_id: 0x8001,
+            mme_code: 7,
+            m_tmsi: 0xdead_beef,
+        };
+        assert_eq!(Guti::from_bytes(&guti.to_bytes()), guti);
+        let mut w = Writer::new();
+        guti.encode(&mut w);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), Guti::WIRE_LEN);
+        assert_eq!(Guti::decode(&mut Reader::new(bytes)).unwrap(), guti);
+    }
+
+    #[test]
+    fn guti_bytes_embed_mme_code() {
+        // The legacy pool routes on this byte; make sure it is where the
+        // baseline router expects it.
+        let guti = Guti {
+            plmn: Plmn::test(),
+            mme_group_id: 1,
+            mme_code: 42,
+            m_tmsi: 5,
+        };
+        assert_eq!(guti.to_bytes()[5], 42);
+    }
+
+    #[test]
+    fn tai_roundtrip() {
+        let tai = Tai::new(Plmn::test(), 0x1234);
+        let mut w = Writer::new();
+        tai.encode(&mut w);
+        assert_eq!(Tai::decode(&mut Reader::new(w.finish())).unwrap(), tai);
+    }
+
+    #[test]
+    fn mobile_id_both_variants() {
+        for id in [
+            MobileId::Imsi("001010123456789".into()),
+            MobileId::Guti(Guti {
+                plmn: Plmn::test(),
+                mme_group_id: 2,
+                mme_code: 3,
+                m_tmsi: 4,
+            }),
+        ] {
+            let mut w = Writer::new();
+            id.encode(&mut w);
+            assert_eq!(MobileId::decode(&mut Reader::new(w.finish())).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn mobile_id_bad_tag() {
+        let err = MobileId::decode(&mut Reader::new(Bytes::from_static(&[9]))).unwrap_err();
+        assert!(matches!(err, NasError::Invalid { .. }));
+    }
+
+    #[test]
+    fn bcd_odd_and_even() {
+        assert_eq!(decode_bcd(&encode_bcd("12345")), "12345");
+        assert_eq!(decode_bcd(&encode_bcd("123456")), "123456");
+        assert_eq!(encode_bcd("12345").len(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Checked big-endian reader/writer shared by the NAS and S1AP codecs
+//! (`scale-s1ap` re-exports this module).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Decode failure for NAS/S1AP PDUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NasError {
+    Truncated { what: &'static str, needed: usize },
+    Invalid { what: &'static str, value: u64 },
+    /// Integrity check failed on a security-protected message.
+    BadMac,
+    /// NAS sequence number replayed or regressed.
+    Replay { got: u8, expected: u8 },
+    /// Message requires a security context that is not established.
+    NoSecurityContext,
+}
+
+impl fmt::Display for NasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NasError::Truncated { what, needed } => {
+                write!(f, "truncated while reading {what} ({needed} bytes short)")
+            }
+            NasError::Invalid { what, value } => write!(f, "invalid {what}: {value:#x}"),
+            NasError::BadMac => write!(f, "NAS integrity check failed"),
+            NasError::Replay { got, expected } => {
+                write!(f, "NAS sequence replay: got {got}, expected >= {expected}")
+            }
+            NasError::NoSecurityContext => write!(f, "no NAS security context established"),
+        }
+    }
+}
+
+impl std::error::Error for NasError {}
+
+/// Checked reader over [`Bytes`].
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    pub fn need(&self, what: &'static str, n: usize) -> Result<(), NasError> {
+        if self.buf.remaining() < n {
+            Err(NasError::Truncated {
+                what,
+                needed: n - self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, NasError> {
+        self.need(what, 1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, NasError> {
+        self.need(what, 2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, NasError> {
+        self.need(what, 4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, NasError> {
+        self.need(what, 8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    pub fn bytes(&mut self, what: &'static str, n: usize) -> Result<Bytes, NasError> {
+        self.need(what, n)?;
+        Ok(self.buf.copy_to_bytes(n))
+    }
+
+    pub fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], NasError> {
+        self.need(what, N)?;
+        let mut out = [0u8; N];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Length-prefixed (u8) byte string.
+    pub fn lv(&mut self, what: &'static str) -> Result<Bytes, NasError> {
+        let len = self.u8(what)? as usize;
+        self.bytes(what, len)
+    }
+
+    /// Length-prefixed (u8) UTF-8 string.
+    pub fn lv_str(&mut self, what: &'static str) -> Result<String, NasError> {
+        let b = self.lv(what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| NasError::Invalid { what, value: 0 })
+    }
+
+    pub fn rest(&mut self) -> Bytes {
+        let n = self.buf.remaining();
+        self.buf.copy_to_bytes(n)
+    }
+}
+
+/// Big-endian writer.
+pub struct Writer {
+    pub buf: BytesMut,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(64),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.put_u16(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32(v);
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64(v);
+    }
+
+    pub fn slice(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed (u8) byte string. Panics if longer than 255 —
+    /// NAS variable fields are all short.
+    pub fn lv(&mut self, v: &[u8]) {
+        assert!(v.len() <= 255, "LV field too long");
+        self.buf.put_u8(v.len() as u8);
+        self.buf.put_slice(v);
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lv_roundtrip() {
+        let mut w = Writer::new();
+        w.lv(b"hello");
+        let mut r = Reader::new(w.finish());
+        assert_eq!(&r.lv("s").unwrap()[..], b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn lv_str_rejects_bad_utf8() {
+        let mut w = Writer::new();
+        w.lv(&[0xff, 0xfe]);
+        let mut r = Reader::new(w.finish());
+        assert!(r.lv_str("s").is_err());
+    }
+
+    #[test]
+    fn truncation_reports_deficit() {
+        let mut r = Reader::new(Bytes::from_static(&[1]));
+        let err = r.u32("count").unwrap_err();
+        assert_eq!(err, NasError::Truncated { what: "count", needed: 3 });
+    }
+}

@@ -1,0 +1,251 @@
+//! In-memory sctplite transport: two [`Association`]s joined by lossy
+//! queues. This is the transport used by unit/integration tests and by
+//! the in-process SCALE cluster; the [`FaultInjector`] reproduces the
+//! drop/corrupt knobs the smoltcp examples expose and that netem
+//! provided in the paper's testbed.
+
+use crate::assoc::{Association, Event};
+use crate::chunk::{Frame, SctpError};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Deterministic fault injection applied per frame in transit.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+    /// Probability in [0,1] that a frame is silently dropped.
+    pub drop_chance: f64,
+    /// Probability in [0,1] that one byte of a frame is flipped.
+    pub corrupt_chance: f64,
+}
+
+impl FaultInjector {
+    pub fn new(seed: u64, drop_chance: f64, corrupt_chance: f64) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            drop_chance,
+            corrupt_chance,
+        }
+    }
+
+    /// A no-fault injector.
+    pub fn none() -> Self {
+        FaultInjector::new(0, 0.0, 0.0)
+    }
+
+    /// Apply faults to an encoded frame: `None` means dropped.
+    pub fn apply(&mut self, bytes: Bytes) -> Option<Bytes> {
+        if self.drop_chance > 0.0 && self.rng.gen_bool(self.drop_chance) {
+            return None;
+        }
+        if self.corrupt_chance > 0.0 && !bytes.is_empty() && self.rng.gen_bool(self.corrupt_chance)
+        {
+            let mut v = bytes.to_vec();
+            let idx = self.rng.gen_range(0..v.len());
+            v[idx] ^= 1 << self.rng.gen_range(0..8);
+            return Some(Bytes::from(v));
+        }
+        Some(bytes)
+    }
+}
+
+/// A pair of associations connected back-to-back through in-memory
+/// queues, with independent fault injection per direction.
+pub struct MemoryLink {
+    pub a: Association,
+    pub b: Association,
+    a_to_b: VecDeque<Bytes>,
+    b_to_a: VecDeque<Bytes>,
+    fault_ab: FaultInjector,
+    fault_ba: FaultInjector,
+}
+
+impl MemoryLink {
+    /// Create a connected (post-handshake) pair.
+    pub fn connected() -> Self {
+        Self::with_faults(FaultInjector::none(), FaultInjector::none())
+    }
+
+    /// Create a pair with fault injectors on each direction; the
+    /// handshake itself is run fault-free so the link starts established.
+    pub fn with_faults(fault_ab: FaultInjector, fault_ba: FaultInjector) -> Self {
+        let mut link = MemoryLink {
+            a: Association::connect(0xaaaa_0001, 8),
+            b: Association::listen(0xbbbb_0002, 8),
+            a_to_b: VecDeque::new(),
+            b_to_a: VecDeque::new(),
+            fault_ab: FaultInjector::none(),
+            fault_ba: FaultInjector::none(),
+        };
+        link.pump();
+        assert!(link.a.is_established() && link.b.is_established());
+        // Drain the Established events so callers start clean.
+        while link.a.poll_event().is_some() {}
+        while link.b.poll_event().is_some() {}
+        link.fault_ab = fault_ab;
+        link.fault_ba = fault_ba;
+        link
+    }
+
+    /// Move frames across both directions until quiescent. Returns any
+    /// errors raised while handling (corrupted frames etc.); processing
+    /// continues past errors, as a real endpoint would.
+    pub fn pump(&mut self) -> Vec<SctpError> {
+        let mut errors = Vec::new();
+        loop {
+            let mut progressed = false;
+            while let Some(f) = self.a.poll_egress() {
+                if let Some(bytes) = self.fault_ab.apply(f.encode()) {
+                    self.a_to_b.push_back(bytes);
+                }
+                progressed = true;
+            }
+            while let Some(f) = self.b.poll_egress() {
+                if let Some(bytes) = self.fault_ba.apply(f.encode()) {
+                    self.b_to_a.push_back(bytes);
+                }
+                progressed = true;
+            }
+            while let Some(bytes) = self.a_to_b.pop_front() {
+                match Frame::decode(bytes) {
+                    Ok(f) => {
+                        if let Err(e) = self.b.handle_frame(f) {
+                            errors.push(e);
+                        }
+                    }
+                    Err(e) => errors.push(e),
+                }
+                progressed = true;
+            }
+            while let Some(bytes) = self.b_to_a.pop_front() {
+                match Frame::decode(bytes) {
+                    Ok(f) => {
+                        if let Err(e) = self.a.handle_frame(f) {
+                            errors.push(e);
+                        }
+                    }
+                    Err(e) => errors.push(e),
+                }
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        errors
+    }
+
+    /// Collect all pending Data events on side B.
+    pub fn drain_b(&mut self) -> Vec<(u16, u32, Bytes)> {
+        std::iter::from_fn(|| self.b.poll_event())
+            .filter_map(|e| match e {
+                Event::Data {
+                    stream_id,
+                    ppid,
+                    payload,
+                } => Some((stream_id, ppid, payload)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Collect all pending Data events on side A.
+    pub fn drain_a(&mut self) -> Vec<(u16, u32, Bytes)> {
+        std::iter::from_fn(|| self.a.poll_event())
+            .filter_map(|e| match e {
+                Event::Data {
+                    stream_id,
+                    ppid,
+                    payload,
+                } => Some((stream_id, ppid, payload)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ppid;
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let mut link = MemoryLink::connected();
+        for i in 0..100u32 {
+            link.a
+                .send(0, ppid::S1AP, Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
+        }
+        let errs = link.pump();
+        assert!(errs.is_empty());
+        let got = link.drain_b();
+        assert_eq!(got.len(), 100);
+        // In order.
+        for (i, (_, _, payload)) in got.iter().enumerate() {
+            assert_eq!(u32::from_be_bytes(payload[..].try_into().unwrap()), i as u32);
+        }
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let mut link = MemoryLink::connected();
+        link.a.send(1, ppid::GTPC, Bytes::from_static(b"req")).unwrap();
+        link.pump();
+        assert_eq!(link.drain_b().len(), 1);
+        link.b.send(1, ppid::GTPC, Bytes::from_static(b"resp")).unwrap();
+        link.pump();
+        assert_eq!(link.drain_a().len(), 1);
+    }
+
+    #[test]
+    fn dropped_frames_reduce_delivery_but_never_reorder() {
+        let mut link = MemoryLink::with_faults(
+            FaultInjector::new(7, 0.3, 0.0),
+            FaultInjector::none(),
+        );
+        for i in 0..200u32 {
+            link.a
+                .send(0, ppid::S1AP, Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
+        }
+        let _ = link.pump();
+        let got = link.drain_b();
+        assert!(got.len() < 200, "~30% drop must lose messages");
+        // Delivered prefix is strictly in order (gaps stall the stream,
+        // as ordered delivery demands).
+        for (i, (_, _, payload)) in got.iter().enumerate() {
+            assert_eq!(u32::from_be_bytes(payload[..].try_into().unwrap()), i as u32);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_not_silently_accepted() {
+        let mut link = MemoryLink::with_faults(
+            FaultInjector::new(3, 0.0, 0.5),
+            FaultInjector::none(),
+        );
+        for _ in 0..100 {
+            link.a
+                .send(0, ppid::S1AP, Bytes::from_static(b"payload-bytes"))
+                .unwrap();
+        }
+        let errs = link.pump();
+        // With 50% corruption over 100 frames, several must trip tag or
+        // parse checks. (Payload-byte corruption is undetectable at this
+        // layer, just like UDP without checksums — NAS MACs catch it.)
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn fault_injector_determinism() {
+        let mut f1 = FaultInjector::new(42, 0.5, 0.0);
+        let mut f2 = FaultInjector::new(42, 0.5, 0.0);
+        for i in 0..50u8 {
+            let b = Bytes::from(vec![i; 10]);
+            assert_eq!(f1.apply(b.clone()).is_none(), f2.apply(b).is_none());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Tokio adapter: runs an sctplite association over a TCP stream with
+//! length-delimited frames.
+//!
+//! This is the transport of the runnable prototype: eNodeB↔MLB and
+//! MLB↔MMP links are `SctpStream`s, giving S1AP its message-oriented,
+//! multi-stream semantics on a laptop without kernel SCTP. An optional
+//! per-link artificial delay emulates inter-DC propagation the way the
+//! paper used netem (§5.1 E4-ii).
+
+use crate::assoc::{Association, Event};
+use crate::chunk::{Frame, SctpError};
+use bytes::Bytes;
+use std::io;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Error type for the async transport.
+#[derive(Debug)]
+pub enum TransportError {
+    Io(io::Error),
+    Protocol(SctpError),
+    /// Peer closed the TCP stream.
+    Eof,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "io: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol: {e}"),
+            TransportError::Eof => write!(f, "peer closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<SctpError> for TransportError {
+    fn from(e: SctpError) -> Self {
+        TransportError::Protocol(e)
+    }
+}
+
+async fn write_frame(w: &mut OwnedWriteHalf, frame: &Frame) -> Result<(), TransportError> {
+    let bytes = frame.encode();
+    w.write_u32(bytes.len() as u32).await?;
+    w.write_all(&bytes).await?;
+    Ok(())
+}
+
+async fn read_frame(r: &mut OwnedReadHalf) -> Result<Frame, TransportError> {
+    let len = match r.read_u32().await {
+        Ok(n) => n as usize,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(TransportError::Eof),
+        Err(e) => return Err(e.into()),
+    };
+    if len > 1 << 20 {
+        return Err(TransportError::Protocol(SctpError::Truncated(
+            "frame length implausible",
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).await?;
+    Ok(Frame::decode(Bytes::from(buf))?)
+}
+
+/// An established sctplite association over TCP.
+pub struct SctpStream {
+    assoc: Association,
+    rd: OwnedReadHalf,
+    wr: OwnedWriteHalf,
+    /// Artificial one-way delay applied before each send (propagation
+    /// emulation, like the paper's netem setup).
+    pub link_delay: Duration,
+}
+
+impl SctpStream {
+    /// Client side: TCP connect + sctplite handshake.
+    pub async fn connect(addr: &str, local_tag: u32) -> Result<SctpStream, TransportError> {
+        let tcp = TcpStream::connect(addr).await?;
+        tcp.set_nodelay(true)?;
+        let (mut rd, mut wr) = tcp.into_split();
+        let mut assoc = Association::connect(local_tag, 8);
+        // Flush the INIT.
+        while let Some(f) = assoc.poll_egress() {
+            write_frame(&mut wr, &f).await?;
+        }
+        // Await INIT-ACK.
+        loop {
+            let frame = read_frame(&mut rd).await?;
+            assoc.handle_frame(frame)?;
+            while let Some(f) = assoc.poll_egress() {
+                write_frame(&mut wr, &f).await?;
+            }
+            if assoc.is_established() {
+                break;
+            }
+        }
+        // Drain the Established event.
+        while assoc.poll_event().is_some() {}
+        Ok(SctpStream {
+            assoc,
+            rd,
+            wr,
+            link_delay: Duration::ZERO,
+        })
+    }
+
+    /// Server side: accept + handshake on an incoming TCP connection.
+    pub async fn accept(tcp: TcpStream, local_tag: u32) -> Result<SctpStream, TransportError> {
+        tcp.set_nodelay(true)?;
+        let (mut rd, mut wr) = tcp.into_split();
+        let mut assoc = Association::listen(local_tag, 8);
+        loop {
+            let frame = read_frame(&mut rd).await?;
+            assoc.handle_frame(frame)?;
+            while let Some(f) = assoc.poll_egress() {
+                write_frame(&mut wr, &f).await?;
+            }
+            if assoc.is_established() {
+                break;
+            }
+        }
+        while assoc.poll_event().is_some() {}
+        Ok(SctpStream {
+            assoc,
+            rd,
+            wr,
+            link_delay: Duration::ZERO,
+        })
+    }
+
+    /// Send one application message on `stream_id`.
+    pub async fn send(
+        &mut self,
+        stream_id: u16,
+        ppid: u32,
+        payload: Bytes,
+    ) -> Result<(), TransportError> {
+        if !self.link_delay.is_zero() {
+            tokio::time::sleep(self.link_delay).await;
+        }
+        self.assoc.send(stream_id, ppid, payload)?;
+        while let Some(f) = self.assoc.poll_egress() {
+            write_frame(&mut self.wr, &f).await?;
+        }
+        Ok(())
+    }
+
+    /// Receive the next application message `(stream_id, ppid, payload)`.
+    /// Handles heartbeats and shutdown transparently; returns `Eof` when
+    /// the association or TCP stream closes.
+    pub async fn recv(&mut self) -> Result<(u16, u32, Bytes), TransportError> {
+        loop {
+            // Surface any already-queued data first.
+            while let Some(ev) = self.assoc.poll_event() {
+                match ev {
+                    Event::Data {
+                        stream_id,
+                        ppid,
+                        payload,
+                    } => return Ok((stream_id, ppid, payload)),
+                    Event::Closed | Event::Aborted { .. } => return Err(TransportError::Eof),
+                    _ => {}
+                }
+            }
+            let frame = read_frame(&mut self.rd).await?;
+            self.assoc.handle_frame(frame)?;
+            while let Some(f) = self.assoc.poll_egress() {
+                write_frame(&mut self.wr, &f).await?;
+            }
+        }
+    }
+
+    /// Graceful shutdown (best effort).
+    pub async fn shutdown(&mut self) -> Result<(), TransportError> {
+        self.assoc.shutdown();
+        while let Some(f) = self.assoc.poll_egress() {
+            write_frame(&mut self.wr, &f).await?;
+        }
+        Ok(())
+    }
+}
+
+/// Listener wrapper producing handshaken [`SctpStream`]s.
+pub struct SctpListener {
+    tcp: TcpListener,
+    next_tag: u32,
+}
+
+impl SctpListener {
+    pub async fn bind(addr: &str) -> Result<SctpListener, TransportError> {
+        Ok(SctpListener {
+            tcp: TcpListener::bind(addr).await?,
+            next_tag: 0x5000_0000,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.tcp.local_addr()
+    }
+
+    pub async fn accept(&mut self) -> Result<SctpStream, TransportError> {
+        let (stream, _peer) = self.tcp.accept().await?;
+        self.next_tag += 1;
+        SctpStream::accept(stream, self.next_tag).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ppid;
+
+    #[tokio::test]
+    async fn connect_send_recv_over_tcp() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let mut s = listener.accept().await.unwrap();
+            let (sid, p, payload) = s.recv().await.unwrap();
+            assert_eq!((sid, p), (1, ppid::S1AP));
+            s.send(1, ppid::S1AP, payload).await.unwrap(); // echo
+        });
+        let mut client = SctpStream::connect(&addr, 0x1234).await.unwrap();
+        client
+            .send(1, ppid::S1AP, Bytes::from_static(b"initial-ue-message"))
+            .await
+            .unwrap();
+        let (sid, p, payload) = client.recv().await.unwrap();
+        assert_eq!((sid, p), (1, ppid::S1AP));
+        assert_eq!(&payload[..], b"initial-ue-message");
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn many_messages_keep_order() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let mut s = listener.accept().await.unwrap();
+            for i in 0..200u32 {
+                let (_, _, payload) = s.recv().await.unwrap();
+                assert_eq!(u32::from_be_bytes(payload[..].try_into().unwrap()), i);
+            }
+        });
+        let mut client = SctpStream::connect(&addr, 0x9).await.unwrap();
+        for i in 0..200u32 {
+            client
+                .send(0, ppid::GTPC, Bytes::from(i.to_be_bytes().to_vec()))
+                .await
+                .unwrap();
+        }
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn eof_on_peer_drop() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let _s = listener.accept().await.unwrap();
+            // Dropped immediately: TCP closes.
+        });
+        let mut client = SctpStream::connect(&addr, 0x9).await.unwrap();
+        server.await.unwrap();
+        assert!(matches!(client.recv().await, Err(TransportError::Eof)));
+    }
+
+    #[tokio::test]
+    async fn link_delay_is_applied() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let mut s = listener.accept().await.unwrap();
+            let _ = s.recv().await.unwrap();
+        });
+        let mut client = SctpStream::connect(&addr, 0x9).await.unwrap();
+        client.link_delay = Duration::from_millis(30);
+        let t0 = std::time::Instant::now();
+        client.send(0, 0, Bytes::from_static(b"x")).await.unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        server.await.unwrap();
+    }
+}

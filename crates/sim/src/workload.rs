@@ -1,0 +1,243 @@
+//! Workload generation: Poisson request streams per device, skewed
+//! populations (the L1–L4 scenarios of Fig 10a), IoT-style access-
+//! frequency distributions (Fig 11) and the synchronous mass-access
+//! pattern §3.1 warns about.
+
+use crate::queueing::{Procedure, Request};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw an exponential inter-arrival gap with rate `lambda` (1/s).
+pub fn exp_gap(rng: &mut StdRng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Poisson arrival times over [0, duration) at `rate` per second.
+pub fn poisson_arrivals(rng: &mut StdRng, rate: f64, duration: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if rate <= 0.0 {
+        return out;
+    }
+    let mut t = exp_gap(rng, rate);
+    while t < duration {
+        out.push(t);
+        t += exp_gap(rng, rate);
+    }
+    out
+}
+
+/// Relative frequency of each procedure in a request mix.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcedureMix {
+    pub attach: f64,
+    pub service_request: f64,
+    pub handover: f64,
+    pub tau: f64,
+    pub paging: f64,
+}
+
+impl ProcedureMix {
+    /// The mix of a mature network: Idle/Active cycling dominates.
+    pub fn typical() -> Self {
+        ProcedureMix {
+            attach: 0.05,
+            service_request: 0.55,
+            handover: 0.10,
+            tau: 0.20,
+            paging: 0.10,
+        }
+    }
+
+    /// Only one procedure (the per-procedure sweeps of Fig 2a/3a).
+    pub fn only(p: Procedure) -> Self {
+        let mut m = ProcedureMix {
+            attach: 0.0,
+            service_request: 0.0,
+            handover: 0.0,
+            tau: 0.0,
+            paging: 0.0,
+        };
+        match p {
+            Procedure::Attach => m.attach = 1.0,
+            Procedure::ServiceRequest => m.service_request = 1.0,
+            Procedure::Handover => m.handover = 1.0,
+            Procedure::Tau => m.tau = 1.0,
+            Procedure::Paging => m.paging = 1.0,
+            Procedure::Detach => m.service_request = 1.0,
+        }
+        m
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> Procedure {
+        let total =
+            self.attach + self.service_request + self.handover + self.tau + self.paging;
+        let mut roll = rng.gen_range(0.0..total);
+        for (p, w) in [
+            (Procedure::Attach, self.attach),
+            (Procedure::ServiceRequest, self.service_request),
+            (Procedure::Handover, self.handover),
+            (Procedure::Tau, self.tau),
+            (Procedure::Paging, self.paging),
+        ] {
+            if roll < w {
+                return p;
+            }
+            roll -= w;
+        }
+        Procedure::ServiceRequest
+    }
+}
+
+/// Generate the merged, time-ordered request stream for a population
+/// where device `d` fires at `rates[d]` requests/s.
+pub fn device_stream(
+    seed: u64,
+    rates: &[f64],
+    mix: ProcedureMix,
+    duration: f64,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut all = Vec::new();
+    for (device, &rate) in rates.iter().enumerate() {
+        for t in poisson_arrivals(&mut rng, rate, duration) {
+            all.push(Request {
+                time: t,
+                device,
+                procedure: mix.draw(&mut rng),
+            });
+        }
+    }
+    all.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    all
+}
+
+/// Uniform per-device rates summing to `total_rate`.
+pub fn uniform_rates(n_devices: usize, total_rate: f64) -> Vec<f64> {
+    vec![total_rate / n_devices as f64; n_devices]
+}
+
+/// Skewed rates: devices whose *master VM* is in `hot_vms` fire
+/// `hot_factor`× more often — the load-skew scenarios L1–L4 of Fig 10a.
+pub fn skewed_rates(
+    holders: &[Vec<usize>],
+    hot_vms: &[usize],
+    base_rate: f64,
+    hot_factor: f64,
+) -> Vec<f64> {
+    holders
+        .iter()
+        .map(|h| {
+            if hot_vms.contains(&h[0]) {
+                base_rate * hot_factor
+            } else {
+                base_rate
+            }
+        })
+        .collect()
+}
+
+/// An IoT-style access-frequency population for the S3 experiment:
+/// `low_fraction` of devices have w ≈ `low_w`, the rest w ≈ `high_w`.
+pub fn bimodal_weights(
+    seed: u64,
+    n_devices: usize,
+    low_fraction: f64,
+    low_w: f64,
+    high_w: f64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_devices)
+        .map(|_| {
+            if rng.gen_bool(low_fraction.clamp(0.0, 1.0)) {
+                low_w * rng.gen_range(0.5..1.5)
+            } else {
+                high_w * rng.gen_range(0.8..1.2_f64).min(1.0 / high_w)
+            }
+        })
+        .collect()
+}
+
+/// Synchronous mass access (§3.1): `n` devices all fire within
+/// `spread_s` of `at`.
+pub fn mass_access(
+    seed: u64,
+    devices: std::ops::Range<usize>,
+    at: f64,
+    spread_s: f64,
+    procedure: Procedure,
+) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Request> = devices
+        .map(|device| Request {
+            time: at + rng.gen_range(0.0..spread_s.max(1e-9)),
+            device,
+            procedure,
+        })
+        .collect();
+    out.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let arrivals = poisson_arrivals(&mut rng, 100.0, 100.0);
+        let n = arrivals.len() as f64;
+        assert!((n - 10_000.0).abs() < 500.0, "got {n} arrivals");
+        // Sorted and within range.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|t| *t >= 0.0 && *t < 100.0));
+    }
+
+    #[test]
+    fn zero_rate_is_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(poisson_arrivals(&mut rng, 0.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn device_stream_is_time_ordered_and_seeded() {
+        let rates = uniform_rates(10, 50.0);
+        let s1 = device_stream(42, &rates, ProcedureMix::typical(), 10.0);
+        let s2 = device_stream(42, &rates, ProcedureMix::typical(), 10.0);
+        assert_eq!(s1.len(), s2.len(), "deterministic");
+        assert!(s1.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!((s1.len() as f64 - 500.0).abs() < 120.0);
+    }
+
+    #[test]
+    fn only_mix_draws_one_procedure() {
+        let rates = uniform_rates(5, 100.0);
+        let stream = device_stream(7, &rates, ProcedureMix::only(Procedure::Attach), 5.0);
+        assert!(stream.iter().all(|r| r.procedure == Procedure::Attach));
+    }
+
+    #[test]
+    fn skewed_rates_mark_hot_vm_devices() {
+        let holders = vec![vec![0], vec![1], vec![0], vec![2]];
+        let rates = skewed_rates(&holders, &[0], 1.0, 5.0);
+        assert_eq!(rates, vec![5.0, 1.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn bimodal_weights_split() {
+        let w = bimodal_weights(3, 10_000, 0.4, 0.05, 0.8);
+        let low = w.iter().filter(|x| **x < 0.2).count();
+        assert!((low as f64 / 10_000.0 - 0.4).abs() < 0.05);
+        assert!(w.iter().all(|x| *x >= 0.0 && *x <= 1.0));
+    }
+
+    #[test]
+    fn mass_access_is_tight() {
+        let reqs = mass_access(1, 0..1000, 10.0, 0.5, Procedure::Attach);
+        assert_eq!(reqs.len(), 1000);
+        assert!(reqs.iter().all(|r| r.time >= 10.0 && r.time < 10.5));
+        assert!(reqs.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

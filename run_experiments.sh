@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate every figure of the paper (results/*.json + stdout tables).
+set -e
+bins="fig2a_static_assignment fig2b_overload_protection fig2c_signaling_overhead \
+fig2d_scaling_out fig3a_propagation_delay fig3b_multidc_pooling \
+fig6a_model_replication fig6b_model_access_aware \
+e1_mlb_overhead e2_replication_overhead e3_replica_placement \
+e4_overload_within_dc e4_geo_multiplexing \
+s1_state_management s2_geo_multiplexing s3_access_awareness"
+for b in $bins; do
+    echo "==================== $b ===================="
+    cargo run --release -q -p scale-bench --bin "$b"
+done

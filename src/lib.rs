@@ -1,0 +1,8 @@
+//! Umbrella crate: re-exports the SCALE workspace crates for examples/tests.
+pub use scale_analysis as analysis;
+pub use scale_core as core;
+pub use scale_crypto as crypto;
+pub use scale_epc as epc;
+pub use scale_hashring as hashring;
+pub use scale_mme as mme;
+pub use scale_sim as sim;

@@ -1,0 +1,146 @@
+//! Failure injection across layers: lossy/corrupting transport under
+//! NAS integrity protection, ring churn invariants, and provisioning
+//! behaviour at extremes.
+
+use bytes::Bytes;
+use scale_crypto::kdf::derive_nas_keys;
+use scale_hashring::{moved_keys, HashRing};
+use scale_nas::security::{Direction, NasSecurityContext, SecurityHeader};
+use scale_nas::{EmmMessage, MobileId, Plmn, Tai};
+use scale_sctplite::{ppid, FaultInjector, MemoryLink};
+
+fn sample_nas() -> EmmMessage {
+    EmmMessage::AttachRequest {
+        attach_type: 1,
+        id: MobileId::Imsi("001010123456789".into()),
+        tai: Tai::new(Plmn::test(), 9),
+    }
+}
+
+#[test]
+fn corrupted_protected_nas_never_decodes_as_valid() {
+    // Protected NAS over a corrupting link: the transport may deliver
+    // mangled payloads, but the EIA2 MAC must catch every mutation.
+    let mut delivered = 0;
+    let mut accepted_bad = 0;
+    for i in 0..200u64 {
+        // A fresh link per message: corruption of one frame's header
+        // stalls ordered delivery on that association (by design), so a
+        // shared link would starve later messages.
+        let mut link = MemoryLink::with_faults(
+            FaultInjector::new(1234 + i, 0.0, 0.6),
+            FaultInjector::none(),
+        );
+        let keys = derive_nas_keys(&[4; 16], &[5; 16], &[0, 1, 2], &[6; 6]);
+        let mut tx = NasSecurityContext::new(keys, 1);
+        let wire = tx.protect(&sample_nas(), Direction::Uplink, SecurityHeader::Integrity);
+        let original = wire.clone();
+        link.a.send(0, ppid::S1AP, wire).unwrap();
+        let _ = link.pump();
+        for (_, _, payload) in link.drain_b() {
+            delivered += 1;
+            let keys = derive_nas_keys(&[4; 16], &[5; 16], &[0, 1, 2], &[6; 6]);
+            let mut rx = NasSecurityContext::new(keys, 1);
+            match rx.unprotect(payload.clone(), Direction::Uplink) {
+                Ok(msg) => {
+                    // Either the frame survived intact, or corruption hit
+                    // the sctplite framing (not the NAS payload).
+                    if payload != original && msg != sample_nas() {
+                        accepted_bad += 1;
+                    }
+                }
+                Err(_) => {} // rejected, as it should be
+            }
+        }
+    }
+    assert!(delivered > 50, "got {delivered}");
+    assert_eq!(accepted_bad, 0, "corrupted NAS accepted as valid");
+}
+
+#[test]
+fn ring_churn_never_strands_a_key() {
+    // Add and remove nodes repeatedly; at every step each key has a
+    // full, distinct replica set and only legal moves happen.
+    let mut ring: HashRing<String> = HashRing::new(5);
+    for i in 0..4 {
+        ring.add_node(format!("vm-{i}"));
+    }
+    let keys: Vec<u64> = (0..2000).collect();
+    for step in 0..10 {
+        let before = ring.clone();
+        if step % 2 == 0 {
+            ring.add_node(format!("vm-new-{step}"));
+            for (_, _, after) in moved_keys(&before, &ring, keys.iter().copied()) {
+                assert_eq!(*after.unwrap(), format!("vm-new-{step}"));
+            }
+        } else {
+            let victim = ring.nodes()[step % ring.len()].clone();
+            ring.remove_node(&victim);
+            for (_, b, _) in moved_keys(&before, &ring, keys.iter().copied()) {
+                assert_eq!(*b.unwrap(), victim);
+            }
+        }
+        for k in &keys {
+            let reps = ring.replicas(k, 2);
+            assert_eq!(reps.len(), 2.min(ring.len()));
+            if reps.len() == 2 {
+                assert_ne!(reps[0], reps[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_link_preserves_s1ap_integrity() {
+    use scale_s1ap::S1apPdu;
+    // 20 % drop: delivered PDUs must decode to exactly what was sent,
+    // in order.
+    let mut link = MemoryLink::with_faults(
+        FaultInjector::new(77, 0.2, 0.0),
+        FaultInjector::none(),
+    );
+    let sent: Vec<S1apPdu> = (0..100u32)
+        .map(|i| S1apPdu::Paging {
+            ue_paging_id: (1, i),
+            tai_list: vec![Tai::new(Plmn::test(), i as u16)],
+        })
+        .collect();
+    for pdu in &sent {
+        link.a.send(3, ppid::S1AP, pdu.encode()).unwrap();
+    }
+    let _ = link.pump();
+    let got = link.drain_b();
+    assert!(got.len() < sent.len(), "drops expected");
+    for (i, (_, _, payload)) in got.iter().enumerate() {
+        assert_eq!(S1apPdu::decode(payload.clone()).unwrap(), sent[i]);
+    }
+}
+
+#[test]
+fn replay_of_captured_nas_is_rejected() {
+    let keys = derive_nas_keys(&[9; 16], &[8; 16], &[0, 1, 2], &[7; 6]);
+    let mut tx = NasSecurityContext::new(keys, 1);
+    let mut rx = tx.clone();
+    let captured = tx.protect(&sample_nas(), Direction::Uplink, SecurityHeader::Integrity);
+    assert!(rx.unprotect(captured.clone(), Direction::Uplink).is_ok());
+    // An attacker replays the captured frame.
+    assert!(rx.unprotect(captured, Direction::Uplink).is_err());
+}
+
+#[test]
+fn garbage_bytes_never_panic_any_decoder() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(4242);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..128);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let b = Bytes::from(data);
+        let _ = scale_s1ap::S1apPdu::decode(b.clone());
+        let _ = scale_nas::EmmMessage::decode(b.clone());
+        let _ = scale_gtpc::Message::decode(b.clone());
+        let _ = scale_diameter::DiameterMsg::decode(b.clone());
+        let _ = scale_sctplite::Frame::decode(b.clone());
+        let _ = scale_mme::UeContext::from_bytes(b);
+    }
+}
