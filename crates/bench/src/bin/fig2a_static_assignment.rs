@@ -5,34 +5,33 @@
 //! Paper shape: delays flat below a per-procedure threshold, then a
 //! sharp rise toward ~1 s as the rate approaches 1000 req/s.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 fn main() {
-    let mut rows = Vec::new();
     let duration = 3.0;
-    for (label, proc_) in [
+    let procs = [
         ("attach-req", Procedure::Attach),
         ("service-req", Procedure::ServiceRequest),
         ("handover", Procedure::Handover),
-    ] {
-        for rate in (1..=10).map(|i| i as f64 * 100.0) {
-            let n_devices = 200;
-            let rates = scale_sim::uniform_rates(n_devices, rate);
-            let stream = scale_sim::device_stream(
-                42,
-                &rates,
-                ProcedureMix::only(proc_),
-                duration,
-            );
-            let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
-                .with_holders(placement::pinned(n_devices, 1));
-            for r in &stream {
-                dc.submit(*r);
-            }
-            rows.push(Row::new(label, rate, ms(dc.delays.p99())));
+    ];
+    // Every sweep point seeds its own device stream, so the points are
+    // independent and can run one-per-thread; collecting by index keeps
+    // the emitted rows in sequential order.
+    let rows = run_points(procs.len() * 10, |i| {
+        let (label, proc_) = procs[i / 10];
+        let rate = (i % 10 + 1) as f64 * 100.0;
+        let n_devices = 200;
+        let rates = scale_sim::uniform_rates(n_devices, rate);
+        let stream =
+            scale_sim::device_stream(42, &rates, ProcedureMix::only(proc_), duration);
+        let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
+            .with_holders(placement::pinned(n_devices, 1));
+        for r in &stream {
+            dc.submit(*r);
         }
-    }
+        Row::new(label, rate, ms(dc.delays.p99()))
+    });
     emit(
         "fig2a_static_assignment",
         "99th %tile delay vs offered load, single statically-assigned MME",

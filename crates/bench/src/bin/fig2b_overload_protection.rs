@@ -3,7 +3,7 @@
 //! protection) — reassignment signaling makes the overloaded tail far
 //! worse than the load alone would.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_sim::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ProcedureMix, ReassignPolicy,
 };
@@ -30,17 +30,22 @@ fn run(rate: f64, reassign: bool) -> scale_sim::Samples {
 }
 
 fn main() {
+    // Light load (well under one MME's ~350 attach/s capacity) and
+    // ~1.4× overload with reactive reassignment: independent seeded
+    // runs, one thread each.
+    let configs = [(150.0, false), (460.0, true)];
+    let mut samples = run_points(configs.len(), |i| {
+        let (rate, reassign) = configs[i];
+        run(rate, reassign)
+    });
     let mut rows = Vec::new();
-    // Light load: well under one MME's ~350 attach/s capacity.
-    let mut light = run(150.0, false);
-    for (v, p) in light.cdf(100) {
+    for (v, p) in samples[0].cdf(100) {
         rows.push(Row::new("attach-light-load", ms(v), p));
     }
-    // Overload ~1.4× capacity with reactive reassignment.
-    let mut over = run(460.0, true);
-    for (v, p) in over.cdf(100) {
+    for (v, p) in samples[1].cdf(100) {
         rows.push(Row::new("attach-overloaded-3gpp", ms(v), p));
     }
+    let [light, over] = &mut samples[..] else { unreachable!() };
     println!(
         "# p99 light = {:.1} ms, p99 overloaded+reassign = {:.1} ms",
         ms(light.p99()),

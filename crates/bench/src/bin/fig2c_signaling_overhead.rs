@@ -2,7 +2,7 @@
 //! signaling inflates the *actual* load on both MME1 and MME2 relative
 //! to the IDEAL case where MME2 simply absorbed the excess for free.
 
-use scale_bench::{emit, Row};
+use scale_bench::{emit, run_points, Row};
 use scale_sim::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ProcedureMix, ReassignPolicy,
 };
@@ -43,10 +43,16 @@ fn run(overload_pct: f64, reassign: bool) -> (f64, f64) {
 }
 
 fn main() {
+    let overloads = [10.0, 20.0, 30.0, 40.0, 50.0];
+    // Each (overload, reassign) pair seeds its own stream inside run();
+    // the ten simulations are independent, so fan them out.
+    let utils = run_points(overloads.len() * 2, |i| {
+        run(overloads[i / 2], i % 2 == 0)
+    });
     let mut rows = Vec::new();
-    for overload in [10.0, 20.0, 30.0, 40.0, 50.0] {
-        let (g1, g2) = run(overload, true);
-        let (i1, i2) = run(overload, false);
+    for (j, &overload) in overloads.iter().enumerate() {
+        let (g1, g2) = utils[j * 2];
+        let (i1, i2) = utils[j * 2 + 1];
         rows.push(Row::new("mme1-3gpp", overload, g1));
         rows.push(Row::new("mme2-3gpp", overload, g2));
         rows.push(Row::new("mme1-ideal", overload, i1));

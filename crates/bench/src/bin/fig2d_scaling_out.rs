@@ -9,6 +9,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    // This experiment threads one RNG through the whole 60 s timeline
+    // (arrivals and the new-device coin flips share it), so unlike the
+    // sweep binaries it cannot be split over run_points.
     let duration = 60.0;
     let rate = 640.0; // just above one MME's service-request capacity
     let mme2_start = 10.0;

@@ -2,31 +2,32 @@
 //! plane latency — multi-round-trip procedures (attach) suffer most.
 //! This is why statically placing MMEs in remote DCs hurts (§3.1-4).
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 fn main() {
-    let mut rows = Vec::new();
-    for (label, proc_) in [
+    let procs = [
         ("attach-req", Procedure::Attach),
         ("service-req", Procedure::ServiceRequest),
         ("handover", Procedure::Handover),
-    ] {
-        for rtt_ms in [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0] {
-            let n_devices = 100;
-            let rates = scale_sim::uniform_rates(n_devices, 100.0); // light load
-            let stream =
-                scale_sim::device_stream(3, &rates, ProcedureMix::only(proc_), 10.0);
-            let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
-                .with_holders(placement::pinned(n_devices, 1));
-            for r in &stream {
-                // Each procedure round trip crosses the link once each way.
-                let extra = proc_.round_trips() * rtt_ms / 1000.0;
-                dc.submit_with_extra_latency(*r, extra);
-            }
-            rows.push(Row::new(label, rtt_ms, ms(dc.delays.p99())));
+    ];
+    let rtts = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+    // 21 independent seeded points — one scoped thread each.
+    let rows = run_points(procs.len() * rtts.len(), |i| {
+        let (label, proc_) = procs[i / rtts.len()];
+        let rtt_ms = rtts[i % rtts.len()];
+        let n_devices = 100;
+        let rates = scale_sim::uniform_rates(n_devices, 100.0); // light load
+        let stream = scale_sim::device_stream(3, &rates, ProcedureMix::only(proc_), 10.0);
+        let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
+            .with_holders(placement::pinned(n_devices, 1));
+        for r in &stream {
+            // Each procedure round trip crosses the link once each way.
+            let extra = proc_.round_trips() * rtt_ms / 1000.0;
+            dc.submit_with_extra_latency(*r, extra);
         }
-    }
+        Row::new(label, rtt_ms, ms(dc.delays.p99()))
+    });
     emit(
         "fig3a_propagation_delay",
         "99th %tile delay vs eNodeB–MME RTT",

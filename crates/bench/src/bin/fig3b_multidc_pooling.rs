@@ -2,7 +2,7 @@
 //! *average* load — devices assigned to the remote DC always pay the
 //! propagation cost, regardless of local headroom.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_core::geo::DelayMatrix;
 use scale_sim::{
     placement, Assignment, DcSim, GeoDevice, GeoPlacement, GeoSim, Procedure, ProcedureMix,
@@ -48,15 +48,17 @@ fn run(static_remote_fraction: f64) -> Samples {
 }
 
 fn main() {
+    // The two pool layouts are independent seeded runs — one thread each.
+    let fractions = [0.0, 0.5];
+    let mut samples = run_points(fractions.len(), |i| run(fractions[i]));
     let mut rows = Vec::new();
-    let mut single = run(0.0);
-    for (v, p) in single.cdf(100) {
+    for (v, p) in samples[0].cdf(100) {
         rows.push(Row::new("single-dc", ms(v), p));
     }
-    let mut multi = run(0.5);
-    for (v, p) in multi.cdf(100) {
+    for (v, p) in samples[1].cdf(100) {
         rows.push(Row::new("multi-dc-static-pool", ms(v), p));
     }
+    let [single, multi] = &mut samples[..] else { unreachable!() };
     println!(
         "# p99 single-DC = {:.1} ms, p99 static multi-DC pool = {:.1} ms",
         ms(single.p99()),

@@ -3,7 +3,7 @@
 //! copies capture nearly all of the benefit at every skew level, and
 //! the token-less ring needs far more replication to catch up.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 const N_VMS: usize = 30;
@@ -38,18 +38,22 @@ fn main() {
         ("scale-L3", &[0, 1, 2, 3, 4, 5], 4.0),
         ("scale-L4", &[0, 1, 2, 3, 4, 5, 6, 7], 4.5),
     ];
-    for (label, hot, factor) in scenarios {
-        for r in 1..=4usize {
-            let p99 = run(5, r, hot, factor);
-            println!("# {label} R={r}: p99 = {p99:.0} ms");
-            rows.push(Row::new(label, r as f64, p99));
+    // 20 points: 4 skew scenarios × R∈1..=4, plus the token-less ring
+    // at the harshest skew. run() seeds its own stream per point, so
+    // the heavy 80k-device simulations fan out across threads.
+    let points = run_points(scenarios.len() * 4 + 4, |i| {
+        if i < scenarios.len() * 4 {
+            let (label, hot, factor) = scenarios[i / 4];
+            let r = i % 4 + 1;
+            (label, r, run(5, r, hot, factor))
+        } else {
+            let r = i - scenarios.len() * 4 + 1;
+            ("basic-const-hashing", r, run(1, r, &[0, 1, 2, 3, 4, 5, 6, 7], 4.5))
         }
-    }
-    // Token-less consistent hashing at the harshest skew.
-    for r in 1..=4usize {
-        let p99 = run(1, r, &[0, 1, 2, 3, 4, 5, 6, 7], 4.5);
-        println!("# basic-const-hashing R={r}: p99 = {p99:.0} ms");
-        rows.push(Row::new("basic-const-hashing", r as f64, p99));
+    });
+    for (label, r, p99) in points {
+        println!("# {label} R={r}: p99 = {p99:.0} ms");
+        rows.push(Row::new(label, r as f64, p99));
     }
     println!("# paper shape: R=2 captures most benefit at every skew; token-less needs more");
     emit(

@@ -7,7 +7,7 @@
 //!    propagation for little gain;
 //!  * SCALE — budget (load) + inverse-delay choice: every DC improves.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_core::geo::DelayMatrix;
 use scale_sim::{
     Assignment, DcSim, GeoDevice, GeoPlacement, GeoSim, Procedure, ProcedureMix, Samples,
@@ -98,20 +98,23 @@ fn run(strategy: Strategy, seed: u64) -> Vec<f64> {
 }
 
 fn main() {
-    let mut rows = Vec::new();
-    for (name, strategy) in [
+    let strategies = [
         ("IND", Strategy::Ind),
         ("RDM1", Strategy::Rdm1),
         ("RDM2", Strategy::Rdm2),
         ("SCALE", Strategy::Scale),
-    ] {
-        let p99s = run(strategy, 31);
+    ];
+    // Each strategy replays the same seeded workload on its own sim —
+    // four independent runs, four threads.
+    let results = run_points(strategies.len(), |i| run(strategies[i].1, 31));
+    let mut rows = Vec::new();
+    for ((name, _), p99s) in strategies.iter().zip(&results) {
         println!(
             "# {name:6} p99 per DC = [{:.0}, {:.0}, {:.0}, {:.0}] ms",
             p99s[0], p99s[1], p99s[2], p99s[3]
         );
         for (dc, p) in p99s.iter().enumerate() {
-            rows.push(Row::new(name, (dc + 1) as f64, *p));
+            rows.push(Row::new(*name, (dc + 1) as f64, *p));
         }
     }
     println!("# paper shape: IND melts DC1/DC3; RDM1 overloads DC2; RDM2 pays distance; SCALE lowers all");

@@ -4,7 +4,7 @@
 //! low-activity devices rarely appear, so their missing replica rarely
 //! hurts.
 
-use scale_bench::{emit, ms, Row};
+use scale_bench::{emit, ms, run_points, Row};
 use scale_core::provision::{beta, provision, VmCapacity};
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
@@ -15,9 +15,12 @@ const CAP: VmCapacity = VmCapacity {
 };
 
 fn main() {
-    let mut rows = Vec::new();
     // Sweep the low-activity cohort: 0 %, 25 %, 50 % of 100 K devices.
-    for low_fraction in [0.0, 0.125, 0.25, 0.375, 0.5] {
+    // Both RNGs (weights, stream) are seeded inside the point, so the
+    // five 100k-device simulations run concurrently.
+    let fractions = [0.0, 0.125, 0.25, 0.375, 0.5];
+    let points = run_points(fractions.len(), |i| {
+        let low_fraction = fractions[i];
         let weights = scale_sim::bimodal_weights(5, N_DEV, low_fraction, 0.05, 0.8);
         let x = 0.2;
         let low = weights.iter().filter(|w| **w <= x).count() as u64;
@@ -52,6 +55,10 @@ fn main() {
             dc.submit(*r);
         }
         let delay = ms(dc.delays.p99());
+        (low_fraction, b, vms, delay)
+    });
+    let mut rows = Vec::new();
+    for (low_fraction, b, vms, delay) in points {
         println!(
             "# low-activity={:>4.0}%  β={b:.3}  VMs={vms:>3}  p99 delay={delay:.2} ms",
             low_fraction * 100.0

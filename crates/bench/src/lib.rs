@@ -58,3 +58,52 @@ pub fn emit(name: &str, title: &str, xlabel: &str, ylabel: &str, rows: &[Row]) {
 pub fn ms(seconds: f64) -> f64 {
     seconds * 1000.0
 }
+
+/// Run `n` independent sweep points in parallel and return their
+/// results in point order.
+///
+/// Every sweep binary that seeds a fresh RNG *per point* can use this:
+/// each point computes on its own scoped thread, and because results
+/// are collected by index the emitted rows — and therefore the
+/// `results/*.json` files — are byte-identical to a sequential sweep.
+/// Experiments that thread one RNG through the whole sweep (fig 2d's
+/// scaling-out timeline) must stay sequential.
+pub fn run_points<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let f = &f;
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..n).map(|i| s.spawn(move |_| f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep point panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_points_preserves_order() {
+        let out = run_points(16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_points_matches_sequential_rng_per_point() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let point = |i: usize| -> f64 {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            (0..1000).map(|_| rng.gen_range(0.0..1.0)).sum()
+        };
+        let seq: Vec<f64> = (0..8).map(point).collect();
+        let par = run_points(8, point);
+        assert_eq!(seq, par, "per-point seeding must make order irrelevant");
+    }
+}

@@ -11,14 +11,24 @@
 //!   least-loaded VM among the R replica holders of the GUTI;
 //! * Active-mode messages → the VM id embedded in the MME-UE-S1AP-ID /
 //!   S11-TEID / Diameter hop-by-hop id by the serving MMP.
+//!
+//! The routing hot path is allocation-free: per-VM loads live in a dense
+//! `Vec` indexed by `VmId` (VM ids are small — they embed in the u8
+//! field of composed ids), each device's ring position is memoized so
+//! repeat lookups skip MD5 entirely, and the replica holder set is
+//! cached per routing epoch (invalidated whenever a VM joins or leaves
+//! the ring).
 
-use scale_hashring::HashRing;
+use scale_hashring::{position_of, HashRing, PositionCache};
 use scale_mme::vm_of_id;
 use scale_nas::{Guti, Plmn};
-use std::collections::HashMap;
 
 /// MMP VM identifier within one DC pool (embedded in composed ids).
 pub type VmId = u32;
+
+/// Replica holders cached per slot; replication factors beyond this
+/// bypass the cache (the paper never goes past R = 4).
+const MAX_CACHED_R: usize = 8;
 
 /// Per-VM load tracked by the MLB: an EWMA of the messages handled per
 /// window (the "moving average of CPU utilization" of §4.6).
@@ -28,15 +38,39 @@ pub struct VmLoad {
     pub window_count: u64,
 }
 
+/// One direct-mapped routing-cache slot: the holder set of `m_tmsi` as
+/// of ring `epoch`. `epoch == 0` marks a never-written slot.
+#[derive(Debug, Clone, Copy)]
+struct RouteSlot {
+    m_tmsi: u32,
+    epoch: u64,
+    n: u8,
+    holders: [VmId; MAX_CACHED_R],
+}
+
+const EMPTY_SLOT: RouteSlot = RouteSlot {
+    m_tmsi: 0,
+    epoch: 0,
+    n: 0,
+    holders: [0; MAX_CACHED_R],
+};
+
 /// The MLB's routing state.
 pub struct MlbRouter {
     ring: HashRing<VmId>,
     replication: usize,
-    loads: HashMap<VmId, VmLoad>,
+    /// Dense per-VM loads indexed by `VmId`; slots of removed VMs are
+    /// reset to the default (zero load), matching the map semantics.
+    loads: Vec<VmLoad>,
     next_m_tmsi: u32,
     plmn: Plmn,
     mme_group_id: u16,
     mme_code: u8,
+    /// Bumped on every ring change; cached holder sets from older
+    /// epochs are ignored. Starts at 1 so epoch 0 means "empty slot".
+    epoch: u64,
+    route_cache: Vec<RouteSlot>,
+    positions: PositionCache,
     /// EWMA smoothing for load updates.
     pub load_alpha: f64,
     pub stats: MlbStats,
@@ -56,26 +90,42 @@ impl MlbRouter {
         MlbRouter {
             ring: HashRing::new(tokens),
             replication,
-            loads: HashMap::new(),
+            loads: Vec::new(),
             next_m_tmsi: 1,
             plmn,
             mme_group_id,
             mme_code,
+            epoch: 1,
+            route_cache: vec![EMPTY_SLOT; 1024],
+            positions: PositionCache::new(4096),
             load_alpha: 0.3,
             stats: MlbStats::default(),
         }
     }
 
+    fn load_slot(&mut self, vm: VmId) -> &mut VmLoad {
+        let i = vm as usize;
+        assert!(i < 1 << 16, "dense load table: VM ids must stay small");
+        if self.loads.len() <= i {
+            self.loads.resize(i + 1, VmLoad::default());
+        }
+        &mut self.loads[i]
+    }
+
     /// Register a new MMP VM on the ring.
     pub fn add_mmp(&mut self, vm: VmId) {
         self.ring.add_node(vm);
-        self.loads.entry(vm).or_default();
+        self.load_slot(vm);
+        self.epoch += 1;
     }
 
     /// Remove an MMP VM.
     pub fn remove_mmp(&mut self, vm: VmId) {
         self.ring.remove_node(&vm);
-        self.loads.remove(&vm);
+        if let Some(slot) = self.loads.get_mut(vm as usize) {
+            *slot = VmLoad::default();
+        }
+        self.epoch += 1;
     }
 
     pub fn mmps(&self) -> &[VmId] {
@@ -100,6 +150,45 @@ impl MlbRouter {
         }
     }
 
+    /// Ring position of an M-TMSI's GUTI, memoized: the position depends
+    /// only on the key bytes (never on ring membership), so entries
+    /// survive VM churn.
+    fn position(&mut self, m_tmsi: u32) -> u64 {
+        let guti = self.guti(m_tmsi);
+        self.positions
+            .position_with(m_tmsi as u64, || position_of(&guti.to_bytes()))
+    }
+
+    /// Holder set of `m_tmsi` via the per-epoch routing cache; on a miss
+    /// the replica walk runs once and the slot is (re)filled.
+    fn holders_cached(&mut self, m_tmsi: u32) -> ([VmId; MAX_CACHED_R], usize) {
+        let cacheable = self.replication <= MAX_CACHED_R;
+        let slot_idx = (m_tmsi as usize) & (self.route_cache.len() - 1);
+        if cacheable {
+            let slot = self.route_cache[slot_idx];
+            if slot.epoch == self.epoch && slot.m_tmsi == m_tmsi {
+                return (slot.holders, slot.n as usize);
+            }
+        }
+        let pos = self.position(m_tmsi);
+        let mut holders = [0 as VmId; MAX_CACHED_R];
+        let mut n = 0usize;
+        let want = self.replication.min(MAX_CACHED_R);
+        self.ring.replicas_each(pos, want, |vm| {
+            holders[n] = *vm;
+            n += 1;
+        });
+        if cacheable {
+            self.route_cache[slot_idx] = RouteSlot {
+                m_tmsi,
+                epoch: self.epoch,
+                n: n as u8,
+                holders,
+            };
+        }
+        (holders, n)
+    }
+
     /// Assign a fresh GUTI for an unregistered device and return
     /// `(m_tmsi, master VM)` — the attach is processed at the master so
     /// the state's first copy lives where the ring says it should.
@@ -107,24 +196,28 @@ impl MlbRouter {
         let m_tmsi = self.next_m_tmsi;
         self.next_m_tmsi += 1;
         self.stats.new_attaches += 1;
-        let guti = self.guti(m_tmsi);
-        let master = *self.ring.primary(&guti.to_bytes().to_vec())?;
-        Some((m_tmsi, master))
+        let (holders, n) = self.holders_cached(m_tmsi);
+        if n == 0 {
+            return None;
+        }
+        Some((m_tmsi, holders[0]))
     }
 
     /// Replica holders of a GUTI: master first, then ring successors.
     pub fn holders(&self, m_tmsi: u32) -> Vec<VmId> {
         let guti = self.guti(m_tmsi);
+        let mut out = Vec::with_capacity(self.replication.min(self.ring.len()));
         self.ring
-            .replicas(&guti.to_bytes().to_vec(), self.replication)
-            .into_iter()
-            .copied()
-            .collect()
+            .replicas_each(position_of(&guti.to_bytes()), self.replication, |vm| {
+                out.push(*vm)
+            });
+        out
     }
 
     /// Master VM of a GUTI.
     pub fn master(&self, m_tmsi: u32) -> Option<VmId> {
-        self.holders(m_tmsi).first().copied()
+        let guti = self.guti(m_tmsi);
+        self.ring.primary(&guti.to_bytes()).copied()
     }
 
     /// Route an Idle→Active request: least-loaded VM among the replica
@@ -132,14 +225,23 @@ impl MlbRouter {
     pub fn route_idle_transition(&mut self, m_tmsi: u32) -> Option<VmId> {
         self.stats.idle_routes += 1;
         self.stats.lookups += 1;
-        let holders = self.holders(m_tmsi);
-        holders
-            .into_iter()
-            .min_by(|a, b| {
-                let la = self.loads.get(a).map(|l| l.ewma).unwrap_or(0.0);
-                let lb = self.loads.get(b).map(|l| l.ewma).unwrap_or(0.0);
-                la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        let (holders, n) = self.holders_cached(m_tmsi);
+        let mut best: Option<VmId> = None;
+        let mut best_load = f64::INFINITY;
+        for &vm in &holders[..n] {
+            let load = self
+                .loads
+                .get(vm as usize)
+                .map(|l| l.ewma)
+                .unwrap_or(0.0);
+            // `<=` keeps the last of equally loaded holders, matching the
+            // `Iterator::min_by` tie-breaking of the seed implementation.
+            if load <= best_load {
+                best = Some(vm);
+                best_load = load;
+            }
+        }
+        best
     }
 
     /// Route an Active-mode message by its embedded VM id.
@@ -150,13 +252,13 @@ impl MlbRouter {
 
     /// Record one message handled by `vm` in the current window.
     pub fn record_handled(&mut self, vm: VmId) {
-        self.loads.entry(vm).or_default().window_count += 1;
+        self.load_slot(vm).window_count += 1;
     }
 
     /// Close a load window: fold counts into the EWMA and reset.
     pub fn close_load_window(&mut self) {
         let alpha = self.load_alpha;
-        for load in self.loads.values_mut() {
+        for load in &mut self.loads {
             load.ewma = alpha * load.window_count as f64 + (1.0 - alpha) * load.ewma;
             load.window_count = 0;
         }
@@ -164,12 +266,22 @@ impl MlbRouter {
 
     /// Current EWMA load of a VM.
     pub fn load_of(&self, vm: VmId) -> f64 {
-        self.loads.get(&vm).map(|l| l.ewma).unwrap_or(0.0)
+        self.loads.get(vm as usize).map(|l| l.ewma).unwrap_or(0.0)
     }
 
     /// Directly set a VM's load (used when MMPs push their CPU figures).
     pub fn set_load(&mut self, vm: VmId, load: f64) {
-        self.loads.entry(vm).or_default().ewma = load;
+        self.load_slot(vm).ewma = load;
+    }
+
+    /// Position-memo hit fraction, for instrumentation.
+    pub fn position_cache_hit_rate(&self) -> f64 {
+        let total = self.positions.hits + self.positions.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.positions.hits as f64 / total as f64
+        }
     }
 }
 
@@ -272,6 +384,104 @@ mod tests {
         assert!(r.assign_guti().is_none());
         assert!(r.route_idle_transition(0).is_none());
     }
+
+    #[test]
+    fn cached_routing_matches_uncached_holders() {
+        // The cached hot path (route_idle_transition → holders_cached)
+        // must agree with the allocating public walk, hit or miss.
+        let mut r = router(&[1, 2, 3, 4, 5]);
+        for m in 0..500u32 {
+            let h = r.holders(m);
+            let chosen = r.route_idle_transition(m).unwrap();
+            assert!(h.contains(&chosen), "m_tmsi {m}");
+            // Second lookup hits the cache; same answer.
+            assert_eq!(r.route_idle_transition(m), Some(chosen));
+        }
+        // An epoch bump invalidates the holder cache but not the
+        // position memo: the re-walks below must skip MD5 entirely.
+        r.add_mmp(6);
+        assert_eq!(r.positions.hits, 0, "route cache shields the memo");
+        for m in 0..500u32 {
+            r.route_idle_transition(m);
+        }
+        assert!(
+            r.position_cache_hit_rate() > 0.4,
+            "post-churn lookups must hit the position memo, rate {}",
+            r.position_cache_hit_rate()
+        );
+    }
+
+    #[test]
+    fn add_mmp_invalidates_cached_routes() {
+        // Warm the cache, grow the pool, then every route must match a
+        // freshly built router with the same membership — stale holder
+        // sets may not leak across the epoch bump.
+        let mut r = router(&[1, 2, 3]);
+        for m in 0..300u32 {
+            r.route_idle_transition(m);
+        }
+        r.add_mmp(4);
+        let fresh = router(&[1, 2, 3, 4]);
+        for m in 0..300u32 {
+            assert_eq!(
+                r.holders(m),
+                fresh.holders(m),
+                "m_tmsi {m}: stale holders after add_mmp"
+            );
+            let chosen = r.route_idle_transition(m).unwrap();
+            assert!(
+                fresh.holders(m).contains(&chosen),
+                "m_tmsi {m}: routed to a non-holder after add_mmp"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_mmp_invalidates_cached_routes() {
+        let mut r = router(&[1, 2, 3, 4]);
+        for m in 0..300u32 {
+            r.route_idle_transition(m);
+        }
+        r.remove_mmp(2);
+        let fresh = router(&[1, 3, 4]);
+        for m in 0..300u32 {
+            // Note: `fresh` is built without VM 2 ever joining, while `r`
+            // saw it come and go. Ring removal preserves survivors'
+            // token positions except those salted against VM 2's, so
+            // compare against r's own uncached walk, and check the
+            // departed VM never appears.
+            let uncached = r.holders(m);
+            let chosen = r.route_idle_transition(m).unwrap();
+            assert!(uncached.contains(&chosen), "m_tmsi {m}");
+            assert_ne!(chosen, 2, "m_tmsi {m}: routed to removed VM");
+            assert!(!uncached.contains(&2), "m_tmsi {m}: removed VM still held");
+            assert!(
+                fresh.mmps().iter().any(|vm| *vm == chosen),
+                "m_tmsi {m}: routed outside the surviving pool"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_cache_consistent_through_churn_cycles() {
+        // Repeated add/remove churn with interleaved routing: the cached
+        // path must always agree with the uncached walk of the moment.
+        let mut r = router(&[1, 2, 3]);
+        for round in 0..6u32 {
+            let vm = 10 + round;
+            r.add_mmp(vm);
+            for m in 0..100u32 {
+                let chosen = r.route_idle_transition(m).unwrap();
+                assert!(r.holders(m).contains(&chosen));
+            }
+            r.remove_mmp(vm);
+            for m in 0..100u32 {
+                let chosen = r.route_idle_transition(m).unwrap();
+                assert!(r.holders(m).contains(&chosen));
+                assert_ne!(chosen, vm);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +524,29 @@ mod proptests {
             }
             let chosen = r.route_idle_transition(m_tmsi).unwrap();
             prop_assert!(r.holders(m_tmsi).contains(&chosen));
+        }
+
+        /// The cached idle route equals the route computed from a cold
+        /// cache with identical membership and loads.
+        #[test]
+        fn cached_route_equals_cold_route(n_vms in 2u32..16, m_tmsis in
+                                          proptest::collection::vec(any::<u32>(), 1..40)) {
+            let mut warm = MlbRouter::new(5, 2, Plmn::test(), 0x8001, 1);
+            for vm in 1..=n_vms {
+                warm.add_mmp(vm);
+            }
+            // Warm every key twice, then compare against a cold router.
+            for m in &m_tmsis {
+                warm.route_idle_transition(*m);
+            }
+            let mut cold = MlbRouter::new(5, 2, Plmn::test(), 0x8001, 1);
+            for vm in 1..=n_vms {
+                cold.add_mmp(vm);
+            }
+            for m in &m_tmsis {
+                prop_assert_eq!(warm.route_idle_transition(*m),
+                                cold.route_idle_transition(*m));
+            }
         }
     }
 }

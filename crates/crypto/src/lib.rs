@@ -41,7 +41,7 @@ pub fn hex(bytes: &[u8]) -> String {
 /// Parse lowercase/uppercase hex into bytes. Returns `None` on odd length
 /// or non-hex characters.
 pub fn unhex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits = s.as_bytes();

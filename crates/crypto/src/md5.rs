@@ -30,6 +30,9 @@ fn k_table() -> &'static [u32; 64] {
     })
 }
 
+/// RFC 1321 initial chaining state.
+const INIT: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
 /// Streaming MD5 context.
 ///
 /// ```
@@ -56,7 +59,7 @@ impl Md5 {
     /// Create a fresh context with the RFC 1321 initial state.
     pub fn new() -> Self {
         Md5 {
-            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            state: INIT,
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,
@@ -92,63 +95,89 @@ impl Md5 {
     }
 
     /// Finish the hash and return the 16-byte digest.
-    pub fn finalize(mut self) -> [u8; 16] {
+    pub fn finalize(self) -> [u8; 16] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte little-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
-        // `update` would keep bumping `len`; the length trailer was latched
-        // above so feeding the 8 length bytes directly is safe.
+        let mut state = self.state;
+        // Padding: 0x80, zeros, 8-byte little-endian bit length — built
+        // directly as full blocks.
         let mut block = [0u8; 64];
-        block[..56].copy_from_slice(&self.buf[..56]);
-        block[56..].copy_from_slice(&bit_len.to_le_bytes());
-        self.compress(&block);
-        let mut out = [0u8; 16];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            // The length trailer does not fit; it gets its own block.
+            compress(&mut state, &block);
+            block = [0u8; 64];
         }
-        out
+        block[56..].copy_from_slice(&bit_len.to_le_bytes());
+        compress(&mut state, &block);
+        serialize(&state)
     }
 
-    /// One-shot digest of `data`.
+    /// One-shot digest of `data`, entirely on the stack: full blocks are
+    /// compressed straight out of the input slice and the padding block
+    /// is assembled in place — no context, no buffering, no heap. This
+    /// is the ring-lookup hot path (a GUTI key is one compression).
     pub fn digest(data: &[u8]) -> [u8; 16] {
-        let mut ctx = Md5::new();
-        ctx.update(data);
-        ctx.finalize()
+        let mut state = INIT;
+        let mut chunks = data.chunks_exact(64);
+        for block in chunks.by_ref() {
+            compress(&mut state, block.try_into().unwrap());
+        }
+        let tail = chunks.remainder();
+        let mut block = [0u8; 64];
+        block[..tail.len()].copy_from_slice(tail);
+        block[tail.len()] = 0x80;
+        if tail.len() >= 56 {
+            compress(&mut state, &block);
+            block = [0u8; 64];
+        }
+        block[56..].copy_from_slice(&((data.len() as u64).wrapping_mul(8)).to_le_bytes());
+        compress(&mut state, &block);
+        serialize(&state)
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let k = k_table();
-        let mut m = [0u32; 16];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
-        }
-        let [mut a, mut b, mut c, mut d] = self.state;
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(k[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
+        compress(&mut self.state, block);
     }
+}
+
+fn serialize(state: &[u32; 4]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
+    let k = k_table();
+    let mut m = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+    }
+    let [mut a, mut b, mut c, mut d] = *state;
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(k[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
 }
 
 /// Convenience: MD5 of `data` truncated to a `u64` ring position
@@ -204,6 +233,19 @@ mod tests {
     fn u64_projection_is_stable() {
         assert_eq!(md5_u64(b"guti-1"), md5_u64(b"guti-1"));
         assert_ne!(md5_u64(b"guti-1"), md5_u64(b"guti-2"));
+    }
+
+    #[test]
+    fn oneshot_padding_boundaries() {
+        // The one-shot path splits on tail length 56 (length trailer
+        // fits vs. needs an extra block); check every edge against the
+        // streaming context.
+        for n in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 121, 128] {
+            let data = vec![0x3cu8; n];
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            assert_eq!(ctx.finalize(), Md5::digest(&data), "len {n}");
+        }
     }
 
     #[test]

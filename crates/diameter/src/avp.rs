@@ -224,7 +224,7 @@ pub fn decode_avps(mut buf: Bytes) -> Result<Vec<Avp>, DiameterError> {
 }
 
 /// Find the first AVP with `code` in a slice.
-pub fn find<'a>(avps: &'a [Avp], code: u32) -> Option<&'a Avp> {
+pub fn find(avps: &[Avp], code: u32) -> Option<&Avp> {
     avps.iter().find(|a| a.code == code)
 }
 

@@ -38,6 +38,7 @@ impl ControlPlane for MmeCore {
 }
 
 /// Internal message-in-flight.
+#[allow(clippy::enum_variant_names)]
 enum Wire {
     ToCp(Incoming),
     ToEnb { enb: usize, pdu: S1apPdu },

@@ -121,7 +121,7 @@ impl Hss {
                 vectors,
             }) => {
                 let mut out = Vec::new();
-                for _ in 0..vectors.max(1).min(4) {
+                for _ in 0..vectors.clamp(1, 4) {
                     match self.generate_vector(&imsi, &visited_plmn) {
                         Some(v) => out.push(v),
                         None => break,

@@ -18,7 +18,10 @@
 
 mod ring;
 
-pub use ring::{moved_keys, ring_position, HashRing, RingKey};
+pub use ring::{
+    moved_keys, position_of, reference, ring_position, HashRing, KeyScratch, PositionCache,
+    RingKey, KEY_SCRATCH_LEN,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -82,6 +85,42 @@ mod proptests {
                 let after = shrunk.primary(k).unwrap();
                 prop_assert!(after == before || *before == victim,
                     "key not owned by removed node changed owner");
+            }
+        }
+
+        /// The sorted-Vec ring must agree with the seed BTreeMap
+        /// implementation point-for-point under arbitrary churn: same
+        /// salt-on-collision layout, same primary, same replica walk.
+        #[test]
+        fn sorted_vec_ring_agrees_with_btree_reference(
+            ops in proptest::collection::vec((proptest::prelude::any::<bool>(), 0u8..24), 1..40),
+            keys in proptest::collection::vec(any::<u64>(), 1..30),
+            r in 1usize..5,
+        ) {
+            let mut fast: HashRing<String> = HashRing::new(5);
+            let mut oracle = reference::BTreeRing::new(5);
+            for (add, id) in ops {
+                let node = format!("mmp-{id:02}");
+                if add {
+                    fast.add_node(node.clone());
+                    oracle.add_node(node);
+                } else {
+                    prop_assert_eq!(
+                        fast.remove_node(&node),
+                        oracle.remove_node(&node)
+                    );
+                }
+            }
+            prop_assert_eq!(fast.nodes(), oracle.nodes());
+            // Token layouts are identical, not merely equivalent.
+            let fast_points: Vec<(u64, String)> =
+                fast.points().map(|(p, n)| (p, n.clone())).collect();
+            let oracle_points: Vec<(u64, String)> =
+                oracle.points().map(|(p, n)| (p, n.clone())).collect();
+            prop_assert_eq!(fast_points, oracle_points);
+            for k in &keys {
+                prop_assert_eq!(fast.primary(k), oracle.primary(k));
+                prop_assert_eq!(fast.replicas(k, r), oracle.replicas(k, r));
             }
         }
 

@@ -7,50 +7,73 @@
 //! *distinct* nodes along the ring, which is what spreads one VM's
 //! replicas across many peers and avoids the SIMPLE system's pairwise
 //! hot-spot (§5.1 E3).
+//!
+//! The lookup path is allocation-free: keys are viewed as borrowed byte
+//! slices (staged in a caller stack buffer when a fixed-width integer
+//! has to be serialized), token points live in a sorted `Vec` searched
+//! by `partition_point`, and the MD5 of a short key is a single stack
+//! compression. The seed `BTreeMap` implementation survives in
+//! [`reference`] as the oracle for equivalence tests and the "before"
+//! baseline of the routing benchmarks.
 
 use scale_crypto::md5::Md5;
-use std::collections::BTreeMap;
 use std::fmt;
+
+/// Stack scratch space for keys that need serializing before hashing
+/// (fixed-width integers); byte-backed keys borrow themselves instead.
+pub const KEY_SCRATCH_LEN: usize = 16;
+
+/// The scratch buffer type handed to [`RingKey::ring_bytes`].
+pub type KeyScratch = [u8; KEY_SCRATCH_LEN];
 
 /// Anything that can be placed on (or looked up in) the ring.
 pub trait RingKey {
-    /// Stable byte representation hashed onto the ring.
-    fn ring_bytes(&self) -> Vec<u8>;
+    /// Stable byte representation hashed onto the ring, either borrowed
+    /// from `self` or staged into `scratch` — never heap-allocated.
+    fn ring_bytes<'a>(&'a self, scratch: &'a mut KeyScratch) -> &'a [u8];
 }
 
 impl RingKey for &str {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.as_bytes().to_vec()
+    fn ring_bytes<'a>(&'a self, _scratch: &'a mut KeyScratch) -> &'a [u8] {
+        self.as_bytes()
     }
 }
 
 impl RingKey for String {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.as_bytes().to_vec()
+    fn ring_bytes<'a>(&'a self, _scratch: &'a mut KeyScratch) -> &'a [u8] {
+        self.as_bytes()
     }
 }
 
 impl RingKey for u32 {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.to_be_bytes().to_vec()
+    fn ring_bytes<'a>(&'a self, scratch: &'a mut KeyScratch) -> &'a [u8] {
+        scratch[..4].copy_from_slice(&self.to_be_bytes());
+        &scratch[..4]
     }
 }
 
 impl RingKey for u64 {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.to_be_bytes().to_vec()
+    fn ring_bytes<'a>(&'a self, scratch: &'a mut KeyScratch) -> &'a [u8] {
+        scratch[..8].copy_from_slice(&self.to_be_bytes());
+        &scratch[..8]
     }
 }
 
 impl RingKey for Vec<u8> {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.clone()
+    fn ring_bytes<'a>(&'a self, _scratch: &'a mut KeyScratch) -> &'a [u8] {
+        self
     }
 }
 
-impl RingKey for [u8; 8] {
-    fn ring_bytes(&self) -> Vec<u8> {
-        self.to_vec()
+impl RingKey for [u8] {
+    fn ring_bytes<'a>(&'a self, _scratch: &'a mut KeyScratch) -> &'a [u8] {
+        self
+    }
+}
+
+impl<const LEN: usize> RingKey for [u8; LEN] {
+    fn ring_bytes<'a>(&'a self, _scratch: &'a mut KeyScratch) -> &'a [u8] {
+        self
     }
 }
 
@@ -59,6 +82,12 @@ impl RingKey for [u8; 8] {
 pub fn ring_position(bytes: &[u8]) -> u64 {
     let d = Md5::digest(bytes);
     u64::from_be_bytes(d[..8].try_into().unwrap())
+}
+
+/// Ring position of a key: serialize on the stack, hash, truncate.
+pub fn position_of<K: RingKey + ?Sized>(key: &K) -> u64 {
+    let mut scratch = [0u8; KEY_SCRATCH_LEN];
+    ring_position(key.ring_bytes(&mut scratch))
 }
 
 /// Position of token `idx` for node `node_bytes`.
@@ -91,7 +120,10 @@ fn token_position(node_bytes: &[u8], idx: u32, salt: u32) -> u64 {
 /// ```
 #[derive(Clone)]
 pub struct HashRing<N: Clone + Eq + Ord + RingKey> {
-    points: BTreeMap<u64, N>,
+    /// Token points as `(position, index into nodes)`, sorted by
+    /// position. Rebuilt incrementally on the rare add/remove; lookups
+    /// are a binary search plus a dense-array walk.
+    points: Vec<(u64, u32)>,
     nodes: Vec<N>,
     tokens: u32,
 }
@@ -113,7 +145,7 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
     pub fn new(tokens: u32) -> Self {
         assert!(tokens >= 1, "at least one token per node");
         HashRing {
-            points: BTreeMap::new(),
+            points: Vec::new(),
             nodes: Vec::new(),
             tokens,
         }
@@ -147,68 +179,112 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
         if self.nodes.contains(&node) {
             return;
         }
-        let bytes = node.ring_bytes();
+        let node_idx = self.nodes.len() as u32;
+        let mut scratch = [0u8; KEY_SCRATCH_LEN];
+        let bytes = node.ring_bytes(&mut scratch);
+        self.points.reserve(self.tokens as usize);
         for idx in 0..self.tokens {
             let mut salt = 0u32;
             loop {
-                let pos = token_position(&bytes, idx, salt);
-                if !self.points.contains_key(&pos) {
-                    self.points.insert(pos, node.clone());
-                    break;
+                let pos = token_position(bytes, idx, salt);
+                match self.points.binary_search_by_key(&pos, |p| p.0) {
+                    Ok(_) => salt += 1,
+                    Err(at) => {
+                        self.points.insert(at, (pos, node_idx));
+                        break;
+                    }
                 }
-                salt += 1;
             }
         }
         self.nodes.push(node);
     }
 
     /// Remove a node and all its token points. Returns true if present.
+    /// Surviving points keep their exact positions (their salts were
+    /// chosen against the historical ring, not recomputed), so removal
+    /// only moves keys owned by the departed node.
     pub fn remove_node(&mut self, node: &N) -> bool {
         let Some(idx) = self.nodes.iter().position(|n| n == node) else {
             return false;
         };
         self.nodes.remove(idx);
-        self.points.retain(|_, n| n != node);
+        let idx = idx as u32;
+        self.points.retain(|p| p.1 != idx);
+        for p in &mut self.points {
+            if p.1 > idx {
+                p.1 -= 1;
+            }
+        }
         true
     }
 
     /// The node owning ring position `pos`: first token at or clockwise
     /// after `pos`, wrapping around.
     pub fn node_at(&self, pos: u64) -> Option<&N> {
-        self.points
-            .range(pos..)
-            .next()
-            .or_else(|| self.points.iter().next())
-            .map(|(_, n)| n)
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|p| p.0 < pos);
+        let (_, node_idx) = self.points[if i == self.points.len() { 0 } else { i }];
+        Some(&self.nodes[node_idx as usize])
     }
 
     /// Master node for `key` (the "master MMP" of §4.3.1).
     pub fn primary<K: RingKey + ?Sized>(&self, key: &K) -> Option<&N> {
-        self.node_at(ring_position(&key.ring_bytes()))
+        self.node_at(position_of(key))
     }
 
     /// Walk clockwise from `key`'s position collecting up to `r`
     /// *distinct* nodes: the master followed by replica holders.
     /// Returns fewer than `r` nodes when the ring has fewer nodes.
     pub fn replicas<K: RingKey + ?Sized>(&self, key: &K, r: usize) -> Vec<&N> {
-        self.replicas_at(ring_position(&key.ring_bytes()), r)
+        self.replicas_at(position_of(key), r)
     }
 
     /// As [`Self::replicas`], starting from an explicit ring position.
     pub fn replicas_at(&self, pos: u64, r: usize) -> Vec<&N> {
-        let mut out: Vec<&N> = Vec::with_capacity(r);
+        let mut out = Vec::with_capacity(r.min(self.nodes.len()));
+        self.replicas_each(pos, r, |n| out.push(n));
+        out
+    }
+
+    /// Allocation-free replica walk: `visit` is invoked once per distinct
+    /// node (master first) until `r` nodes were seen or the ring is
+    /// exhausted; returns the number visited. This is the MLB's routing
+    /// hot path — the distinct-node set is tracked on the stack.
+    pub fn replicas_each<'s, F: FnMut(&'s N)>(&'s self, pos: u64, r: usize, mut visit: F) -> usize {
         if self.points.is_empty() || r == 0 {
-            return out;
+            return 0;
         }
-        for (_, n) in self.points.range(pos..).chain(self.points.iter()) {
-            if !out.contains(&n) {
-                out.push(n);
-                if out.len() == r || out.len() == self.nodes.len() {
-                    break;
-                }
+        let want = r.min(self.nodes.len());
+        let mut seen_inline = [0u32; 16];
+        let mut seen_heap;
+        let seen: &mut [u32] = if want <= seen_inline.len() {
+            &mut seen_inline
+        } else {
+            seen_heap = vec![0u32; want];
+            &mut seen_heap
+        };
+        let start = self.points.partition_point(|p| p.0 < pos);
+        let n_points = self.points.len();
+        let mut found = 0;
+        for step in 0..n_points {
+            let mut i = start + step;
+            if i >= n_points {
+                i -= n_points;
+            }
+            let (_, node_idx) = self.points[i];
+            if seen[..found].contains(&node_idx) {
+                continue;
+            }
+            seen[found] = node_idx;
+            found += 1;
+            visit(&self.nodes[node_idx as usize]);
+            if found == want {
+                break;
             }
         }
-        out
+        found
     }
 
     /// All ring arcs as `(start, end, owner)`: the owner holds keys whose
@@ -219,22 +295,71 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
         if self.points.is_empty() {
             return Vec::new();
         }
-        let pts: Vec<(&u64, &N)> = self.points.iter().collect();
-        let mut arcs = Vec::with_capacity(pts.len());
-        for i in 0..pts.len() {
+        let mut arcs = Vec::with_capacity(self.points.len());
+        for i in 0..self.points.len() {
             let prev = if i == 0 {
-                *pts[pts.len() - 1].0
+                self.points[self.points.len() - 1].0
             } else {
-                *pts[i - 1].0
+                self.points[i - 1].0
             };
-            arcs.push((prev, *pts[i].0, pts[i].1));
+            let (pos, node_idx) = self.points[i];
+            arcs.push((prev, pos, &self.nodes[node_idx as usize]));
         }
         arcs
     }
 
     /// Raw token points (position → node), mainly for tests and tooling.
     pub fn points(&self) -> impl Iterator<Item = (u64, &N)> {
-        self.points.iter().map(|(p, n)| (*p, n))
+        self.points
+            .iter()
+            .map(|&(p, idx)| (p, &self.nodes[idx as usize]))
+    }
+}
+
+/// Direct-mapped memo of device-key ring positions: a repeat lookup for
+/// a recently seen key skips the MD5 entirely. Positions depend only on
+/// the key bytes — never on ring membership — so entries stay valid
+/// across node churn and the cache needs no epoch invalidation.
+#[derive(Debug, Clone)]
+pub struct PositionCache {
+    slots: Vec<(u64, u64)>,
+    occupied: Vec<bool>,
+    mask: usize,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PositionCache {
+    /// Cache with `capacity` slots, rounded up to a power of two.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        PositionCache {
+            slots: vec![(0, 0); cap],
+            occupied: vec![false; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Position of `key`, computing (and memoizing) it via `compute` on
+    /// a miss. Collisions evict: the newest key wins its slot.
+    pub fn position_with(&mut self, key: u64, compute: impl FnOnce() -> u64) -> u64 {
+        let i = (key as usize) & self.mask;
+        if self.occupied[i] && self.slots[i].0 == key {
+            self.hits += 1;
+            return self.slots[i].1;
+        }
+        self.misses += 1;
+        let pos = compute();
+        self.slots[i] = (key, pos);
+        self.occupied[i] = true;
+        pos
+    }
+
+    /// Forget every entry (keeps the counters).
+    pub fn clear(&mut self) {
+        self.occupied.iter_mut().for_each(|o| *o = false);
     }
 }
 
@@ -256,7 +381,7 @@ where
 {
     let mut out = Vec::new();
     for key in keys {
-        let pos = ring_position(&key.ring_bytes());
+        let pos = position_of(&key);
         let before = old.node_at(pos);
         let after = new.node_at(pos);
         if before != after {
@@ -264,6 +389,137 @@ where
         }
     }
     out
+}
+
+pub mod reference {
+    //! The seed ring implementation — `BTreeMap` point store, heap-
+    //! allocated key bytes, streaming MD5 — kept verbatim as (a) the
+    //! oracle the equivalence proptests compare the sorted-Vec ring
+    //! against under arbitrary churn, and (b) the "before" baseline the
+    //! `bench_summary` binary measures speedups over.
+
+    use super::RingKey;
+    use scale_crypto::md5::Md5;
+    use std::collections::BTreeMap;
+
+    /// Key bytes exactly as the seed produced them: a fresh `Vec<u8>`
+    /// per lookup.
+    fn legacy_bytes<K: RingKey + ?Sized>(key: &K) -> Vec<u8> {
+        let mut scratch = [0u8; super::KEY_SCRATCH_LEN];
+        key.ring_bytes(&mut scratch).to_vec()
+    }
+
+    /// Hash via the streaming context, as the seed's one-shot did.
+    fn legacy_position(bytes: &[u8]) -> u64 {
+        let mut ctx = Md5::new();
+        ctx.update(bytes);
+        let d = ctx.finalize();
+        u64::from_be_bytes(d[..8].try_into().unwrap())
+    }
+
+    fn token_position(node_bytes: &[u8], idx: u32, salt: u32) -> u64 {
+        let mut ctx = Md5::new();
+        ctx.update(node_bytes);
+        ctx.update(b":");
+        ctx.update(&idx.to_be_bytes());
+        if salt != 0 {
+            ctx.update(b"#");
+            ctx.update(&salt.to_be_bytes());
+        }
+        let d = ctx.finalize();
+        u64::from_be_bytes(d[..8].try_into().unwrap())
+    }
+
+    /// The seed's `HashRing`: identical layout and walk semantics,
+    /// pre-optimization data structures.
+    #[derive(Clone)]
+    pub struct BTreeRing<N: Clone + Eq + Ord + RingKey> {
+        points: BTreeMap<u64, N>,
+        nodes: Vec<N>,
+        tokens: u32,
+    }
+
+    impl<N: Clone + Eq + Ord + RingKey> BTreeRing<N> {
+        pub fn new(tokens: u32) -> Self {
+            assert!(tokens >= 1, "at least one token per node");
+            BTreeRing {
+                points: BTreeMap::new(),
+                nodes: Vec::new(),
+                tokens,
+            }
+        }
+
+        pub fn nodes(&self) -> &[N] {
+            &self.nodes
+        }
+
+        // The check-then-insert shape is the seed code this module
+        // preserves verbatim; the entry API would restructure it.
+        #[allow(clippy::map_entry)]
+        pub fn add_node(&mut self, node: N) {
+            if self.nodes.contains(&node) {
+                return;
+            }
+            let bytes = legacy_bytes(&node);
+            for idx in 0..self.tokens {
+                let mut salt = 0u32;
+                loop {
+                    let pos = token_position(&bytes, idx, salt);
+                    if !self.points.contains_key(&pos) {
+                        self.points.insert(pos, node.clone());
+                        break;
+                    }
+                    salt += 1;
+                }
+            }
+            self.nodes.push(node);
+        }
+
+        pub fn remove_node(&mut self, node: &N) -> bool {
+            let Some(idx) = self.nodes.iter().position(|n| n == node) else {
+                return false;
+            };
+            self.nodes.remove(idx);
+            self.points.retain(|_, n| n != node);
+            true
+        }
+
+        pub fn node_at(&self, pos: u64) -> Option<&N> {
+            self.points
+                .range(pos..)
+                .next()
+                .or_else(|| self.points.iter().next())
+                .map(|(_, n)| n)
+        }
+
+        pub fn primary<K: RingKey + ?Sized>(&self, key: &K) -> Option<&N> {
+            self.node_at(legacy_position(&legacy_bytes(key)))
+        }
+
+        pub fn replicas<K: RingKey + ?Sized>(&self, key: &K, r: usize) -> Vec<&N> {
+            self.replicas_at(legacy_position(&legacy_bytes(key)), r)
+        }
+
+        pub fn replicas_at(&self, pos: u64, r: usize) -> Vec<&N> {
+            let mut out: Vec<&N> = Vec::with_capacity(r);
+            if self.points.is_empty() || r == 0 {
+                return out;
+            }
+            for (_, n) in self.points.range(pos..).chain(self.points.iter()) {
+                if !out.contains(&n) {
+                    out.push(n);
+                    if out.len() == r || out.len() == self.nodes.len() {
+                        break;
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn points(&self) -> impl Iterator<Item = (u64, &N)> {
+            self.points.iter().map(|(p, n)| (*p, n))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -415,6 +671,72 @@ mod tests {
         for i in 0..1000u32 {
             assert_eq!(r1.primary(&i), r2.primary(&i));
         }
+    }
+
+    #[test]
+    fn replicas_each_matches_allocating_walk() {
+        let r = ring_with(&["a", "b", "c", "d", "e"], 5);
+        for i in 0..200u64 {
+            let pos = position_of(&i);
+            let alloc = r.replicas_at(pos, 3);
+            let mut streamed = Vec::new();
+            let n = r.replicas_each(pos, 3, |node| streamed.push(node));
+            assert_eq!(n, alloc.len());
+            assert_eq!(streamed, alloc);
+        }
+    }
+
+    #[test]
+    fn replica_walk_beyond_inline_seen_buffer() {
+        // More than 16 distinct nodes forces the heap fallback in
+        // replicas_each; results must stay distinct and complete.
+        let names: Vec<String> = (0..24).map(|i| format!("mmp-{i:02}")).collect();
+        let mut r: HashRing<String> = HashRing::new(3);
+        for n in &names {
+            r.add_node(n.clone());
+        }
+        let reps = r.replicas(&7u64, 20);
+        assert_eq!(reps.len(), 20);
+        let mut sorted: Vec<_> = reps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates in wide replica walk");
+    }
+
+    #[test]
+    fn position_cache_skips_recompute() {
+        let mut cache = PositionCache::new(64);
+        let mut computes = 0;
+        let p1 = cache.position_with(42, || {
+            computes += 1;
+            position_of(&42u64)
+        });
+        let p2 = cache.position_with(42, || {
+            computes += 1;
+            unreachable!("second lookup must hit")
+        });
+        assert_eq!(p1, p2);
+        assert_eq!(p1, position_of(&42u64));
+        assert_eq!(computes, 1);
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn position_cache_colliding_slots_stay_correct() {
+        // Keys 1 and 1+cap map to the same slot; eviction must never
+        // return a stale position.
+        let mut cache = PositionCache::new(8);
+        for _ in 0..3 {
+            for key in [1u64, 9, 17] {
+                let got = cache.position_with(key, || position_of(&key));
+                assert_eq!(got, position_of(&key), "key {key}");
+            }
+        }
+        cache.clear();
+        let before = cache.misses;
+        cache.position_with(1, || position_of(&1u64));
+        assert_eq!(cache.misses, before + 1, "clear must drop entries");
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl FaultInjector {
         {
             let mut v = bytes.to_vec();
             let idx = self.rng.gen_range(0..v.len());
-            v[idx] ^= 1 << self.rng.gen_range(0..8);
+            v[idx] ^= 1u8 << self.rng.gen_range(0..8u32);
             return Some(Bytes::from(v));
         }
         Some(bytes)

@@ -25,8 +25,8 @@ pub use queueing::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ReassignPolicy, Request, VmServer,
 };
 pub use workload::{
-    bimodal_weights, device_stream, mass_access, poisson_arrivals, skewed_rates, uniform_rates,
-    ProcedureMix,
+    bimodal_weights, device_stream, mass_access, poisson_arrivals, poisson_arrivals_into,
+    skewed_rates, uniform_rates, ProcedureMix,
 };
 
 #[cfg(test)]

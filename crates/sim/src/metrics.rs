@@ -15,6 +15,20 @@ impl Samples {
         Samples::default()
     }
 
+    /// Pre-size for `n` expected samples so the event loop never
+    /// reallocates while recording.
+    pub fn with_capacity(n: usize) -> Self {
+        Samples {
+            values: Vec::with_capacity(n),
+            sorted: false,
+        }
+    }
+
+    /// Grow the backing store to hold `n` more samples up front.
+    pub fn reserve(&mut self, n: usize) {
+        self.values.reserve(n);
+    }
+
     pub fn push(&mut self, v: f64) {
         self.values.push(v);
         self.sorted = false;
@@ -106,6 +120,15 @@ impl TimeSeries {
             bucket_width,
             buckets: Vec::new(),
         }
+    }
+
+    /// A series whose buckets already cover `[0, horizon)`, so interval
+    /// accounting inside the horizon never resizes.
+    pub fn with_horizon(bucket_width: f64, horizon: f64) -> Self {
+        let mut ts = TimeSeries::new(bucket_width);
+        let n = (horizon.max(0.0) / bucket_width).ceil() as usize;
+        ts.buckets = vec![0.0; n];
+        ts
     }
 
     /// Add `amount` spread over the interval [start, end).

@@ -185,6 +185,21 @@ impl DcSim {
         self
     }
 
+    /// Pre-size every growth point of the event loop — the delay sample
+    /// buffer and each VM's busy-time series — so a run of
+    /// `expected_requests` over `[0, horizon)` performs no allocation
+    /// per request.
+    pub fn preallocated(mut self, horizon: f64, expected_requests: usize) -> Self {
+        self.delays.reserve(expected_requests);
+        for vm in &mut self.vms {
+            let bw = vm.busy.bucket_width;
+            if vm.busy.buckets.is_empty() {
+                vm.busy = TimeSeries::with_horizon(bw, horizon);
+            }
+        }
+        self
+    }
+
     /// Register one new device (used mid-run for Fig 2d's unregistered
     /// arrivals); returns its device id.
     pub fn register_device(&mut self, holders: Vec<usize>) -> usize {
@@ -219,8 +234,7 @@ impl DcSim {
 
     /// Process one request; returns its total delay, recording it.
     pub fn submit(&mut self, req: Request) -> f64 {
-        let delay = self.submit_with_extra_latency(req, 0.0);
-        delay
+        self.submit_with_extra_latency(req, 0.0)
     }
 
     /// As [`Self::submit`], adding fixed extra latency (propagation) to
@@ -306,10 +320,14 @@ pub mod placement {
         }
         (0..n_devices)
             .map(|d| {
-                ring.replicas(&(d as u64), r)
-                    .into_iter()
-                    .map(|vm| *vm as usize)
-                    .collect()
+                // Stream the walk straight into the holder list — one
+                // allocation per device (the list itself), none for the
+                // intermediate replica vector or the hashed key.
+                let mut holders = Vec::with_capacity(r.min(n_vms));
+                ring.replicas_each(scale_hashring::position_of(&(d as u64)), r, |vm| {
+                    holders.push(*vm as usize)
+                });
+                holders
             })
             .collect()
     }

@@ -17,15 +17,22 @@ pub fn exp_gap(rng: &mut StdRng, lambda: f64) -> f64 {
 /// Poisson arrival times over [0, duration) at `rate` per second.
 pub fn poisson_arrivals(rng: &mut StdRng, rate: f64, duration: f64) -> Vec<f64> {
     let mut out = Vec::new();
+    poisson_arrivals_into(rng, rate, duration, &mut out);
+    out
+}
+
+/// As [`poisson_arrivals`], filling a caller-owned buffer (cleared
+/// first) so per-device generation can reuse one allocation.
+pub fn poisson_arrivals_into(rng: &mut StdRng, rate: f64, duration: f64, out: &mut Vec<f64>) {
+    out.clear();
     if rate <= 0.0 {
-        return out;
+        return;
     }
     let mut t = exp_gap(rng, rate);
     while t < duration {
         out.push(t);
         t += exp_gap(rng, rate);
     }
-    out
 }
 
 /// Relative frequency of each procedure in a request mix.
@@ -99,9 +106,14 @@ pub fn device_stream(
     duration: f64,
 ) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut all = Vec::new();
+    // Expected stream length is known up front; one arrival buffer is
+    // reused across devices instead of one allocation per device.
+    let expected = (rates.iter().sum::<f64>() * duration) as usize;
+    let mut all = Vec::with_capacity(expected + expected / 8);
+    let mut arrivals = Vec::new();
     for (device, &rate) in rates.iter().enumerate() {
-        for t in poisson_arrivals(&mut rng, rate, duration) {
+        poisson_arrivals_into(&mut rng, rate, duration, &mut arrivals);
+        for &t in &arrivals {
             all.push(Request {
                 time: t,
                 device,

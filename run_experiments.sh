@@ -11,3 +11,5 @@ for b in $bins; do
     echo "==================== $b ===================="
     cargo run --release -q -p scale-bench --bin "$b"
 done
+echo "==================== bench_summary ===================="
+cargo run --release -q -p scale-bench --bin bench_summary

@@ -36,12 +36,17 @@ async fn mme_server(mut listener: SctpListener) {
                 Err(e) => panic!("mme error: {e}"),
             };
             for out in outs {
+                // The awaited send cannot move into a match guard.
+                #[allow(clippy::collapsible_match)]
                 match out {
                     Outgoing::S1ap { pdu, .. } => {
-                        stream
-                            .send(1, ppid::S1AP, pdu.encode())
-                            .await
-                            .expect("send");
+                        // The eNodeB may close right after its UE goes
+                        // Active, while responses to its final uplinks
+                        // are still in flight; a dead link ends the
+                        // session rather than crashing the MME task.
+                        if stream.send(1, ppid::S1AP, pdu.encode()).await.is_err() {
+                            return;
+                        }
                     }
                     Outgoing::S6a(msg) => {
                         let answer = hss.handle(&msg);

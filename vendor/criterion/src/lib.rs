@@ -1,0 +1,262 @@
+//! Minimal offline stand-in for criterion.
+//!
+//! Same calling convention (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `iter`/`iter_batched`), but measurement is a
+//! simple calibrated wall-clock loop reporting the median ns/iter over
+//! `sample_size` samples. Finished measurements stay queryable via
+//! [`Criterion::measurements`], which the bench_summary binary uses to
+//! export JSON.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped; only the variants this workspace
+/// names exist, and all behave the same here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub id: String,
+    pub ns_per_iter: f64,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    pub fn final_summary(&self) {
+        eprintln!("criterion shim: {} benchmarks measured", self.measurements.len());
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            ns_per_iter: None,
+        };
+        f(&mut bencher);
+        let ns = bencher
+            .ns_per_iter
+            .expect("benchmark closure never called iter()/iter_batched()");
+        eprintln!("{id:<50} {ns:>14.1} ns/iter");
+        self.measurements.push(Measurement { id, ns_per_iter: ns });
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` in calibrated batches: warm-up estimates the
+    /// per-call cost, then each sample runs enough iterations to fill
+    /// measurement_time / sample_size, and the median sample wins.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles the batch size until it covers the window,
+        // which also calibrates iterations-per-sample.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.warm_up_time.min(Duration::from_millis(50)) {
+                break dt.as_secs_f64() / batch as f64;
+            }
+            batch = batch.saturating_mul(2);
+        };
+        let target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((target / per_iter) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = 16usize;
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up batch.
+        let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        for input in inputs {
+            std_black_box(routine(input));
+        }
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.ns_per_iter = Some(median * 1e9);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_sane() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        group.finish();
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "g/add");
+        assert!(m.ns_per_iter > 0.0 && m.ns_per_iter < 1e6);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.measurements().len(), 1);
+    }
+}

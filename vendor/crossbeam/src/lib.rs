@@ -1,0 +1,67 @@
+//! Minimal offline stand-in for crossbeam's scoped threads, backed by
+//! `std::thread::scope`. Keeps crossbeam 0.8's calling convention:
+//!
+//! ```
+//! crossbeam::scope(|s| {
+//!     s.spawn(|_| 40 + 2);
+//! })
+//! .unwrap();
+//! ```
+
+pub mod thread {
+    /// Scope handle passed to [`scope`] closures; `spawn` hands each
+    /// thread its own handle (crossbeam's nested-spawn convention).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from
+    /// the enclosing stack frame; joins them all before returning.
+    /// Returns `Err` with the panic payload if any thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|x| s.spawn(move |_| *x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

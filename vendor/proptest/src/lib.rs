@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for proptest.
+//!
+//! Covers the subset this workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `prop_assert*`/
+//! `prop_assume`/`prop_oneof`, `any::<T>()`, range and string-pattern
+//! strategies, tuples, `prop_map`, and the `collection`/`option`
+//! modules. Sampling is plain random generation (no shrinking) from a
+//! per-test deterministic seed derived from the test name, so failures
+//! reproduce across runs.
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite brisk while
+        // still exercising each property from a deterministic stream.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Sentinel error used by `prop_assume!` to reject a case without
+/// failing the test.
+#[doc(hidden)]
+pub const ASSUME_REJECT: &str = "__proptest_assume_rejected__";
+
+/// Deterministic per-test RNG: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn __seed_rng(name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::__seed_rng(stringify!($name));
+            let mut ran: u32 = 0;
+            let mut attempts: u32 = 0;
+            while ran < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts < cfg.cases.saturating_mul(20) + 100,
+                    "proptest {}: too many prop_assume rejections",
+                    stringify!($name)
+                );
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let mut case = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                match case() {
+                    Ok(()) => ran += 1,
+                    Err(e) if e == $crate::ASSUME_REJECT => continue,
+                    Err(e) => panic!(
+                        "proptest {} failed on case {}: {}",
+                        stringify!($name), ran, e
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::ASSUME_REJECT.to_string());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("prop_assert failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($arg)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        format!("prop_assert_eq failed: {:?} != {:?}", l, r));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(format!(
+                        "prop_assert_eq failed: {:?} != {:?}: {}",
+                        l, r, format!($($arg)+)));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(
+                        format!("prop_assert_ne failed: both {:?}", l));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($arg:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(format!(
+                        "prop_assert_ne failed: both {:?}: {}",
+                        l, format!($($arg)+)));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![ $( $crate::strategy::Strategy::boxed($arm) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples(x in 3u32..17, (a, b) in (0u8..4, 10i32..20)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(a < 4 && (10..20).contains(&b));
+        }
+
+        #[test]
+        fn patterns_match_shape(s in "[a-z]{2,5}", digits in "[0-9]{6,15}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(digits.len() >= 6 && digits.len() <= 15);
+            prop_assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+
+        #[test]
+        fn collections_and_option(v in crate::collection::vec(any::<u8>(), 2..6),
+                                  set in crate::collection::btree_set("[a-z]{1,3}", 1..8),
+                                  o in crate::option::of(any::<u32>())) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(!set.is_empty() && set.len() < 8);
+            let _ = o;
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u8..10).prop_map(|x| x as u32),
+            100u32..200,
+        ]) {
+            prop_assert!(v < 10 || (100..200).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! `proptest::option::of` — optional values.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

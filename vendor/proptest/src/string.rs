@@ -1,0 +1,85 @@
+//! Tiny regex-subset generator backing string-literal strategies.
+//!
+//! Supports the shapes used in this workspace: sequences of literal
+//! characters and character classes `[a-z0-9_]` (ranges and singles),
+//! each optionally followed by `{n}` or `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let candidates: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .unwrap_or_else(|| panic!("pattern {pattern:?}: unclosed '['"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("pattern {pattern:?}: unclosed '{{'"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (parse_rep(m, pattern), parse_rep(n, pattern)),
+                None => {
+                    let n = parse_rep(&spec, pattern);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(candidates[rng.gen_range(0..candidates.len())]);
+        }
+    }
+    out
+}
+
+fn parse_rep(s: &str, pattern: &str) -> usize {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("pattern {pattern:?}: bad repetition {s:?}"))
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "pattern {pattern:?}: empty class");
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "pattern {pattern:?}: inverted range");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    out
+}

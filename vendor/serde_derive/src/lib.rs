@@ -1,0 +1,109 @@
+//! Hand-rolled `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Supports the only shape this workspace derives on: non-generic
+//! structs with named fields. The expansion builds a `serde::Value`
+//! object preserving field declaration order, which is what the JSON
+//! writer in the vendored serde_json consumes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes (doc comments arrive as #[doc = ...]).
+    while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+        i += 2;
+    }
+    // Skip visibility: `pub` or `pub(...)`.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => i += 1,
+        other => panic!("serde shim derive: expected struct, found {other}"),
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct name, found {other}"),
+    };
+    i += 1;
+    let fields = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic structs unsupported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs unsupported")
+            }
+            _ => i += 1,
+        }
+    };
+
+    let mut pushes = String::new();
+    for field in field_names(fields) {
+        pushes.push_str(&format!(
+            "fields.push((\"{field}\".to_string(), serde::Serialize::to_value(&self.{field})));"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated impl failed to parse")
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde shim derive: expected field name, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected ':' after field, found {other}"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}

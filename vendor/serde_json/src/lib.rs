@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for serde_json: renders the vendored
+//! serde's `Value` tree as JSON text. Matches upstream formatting where
+//! it matters for this repo's result files — 2-space pretty indent,
+//! floats always carrying a decimal point, non-finite floats as null.
+
+use serde::{Serialize, Value};
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, false);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), 0, true);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&fmt_f64(*x)),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, pretty, |o, it, ind| {
+            write_value(o, it, ind, pretty)
+        }, '[', ']'),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            indent,
+            pretty,
+            |o, (k, val), ind| {
+                write_string(o, k);
+                o.push(':');
+                if pretty {
+                    o.push(' ');
+                }
+                write_value(o, val, ind, pretty);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    indent: usize,
+    pretty: bool,
+    mut write_item: impl FnMut(&mut String, T, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            for _ in 0..(indent + 1) * 2 {
+                out.push(' ');
+            }
+        }
+        write_item(out, item, indent + 1);
+    }
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent * 2 {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// serde_json always emits a decimal point or exponent for floats and
+/// serializes non-finite values as null.
+fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[derive(serde::Serialize)]
+    struct Row {
+        series: String,
+        x: f64,
+        y: f64,
+    }
+
+    #[test]
+    fn pretty_matches_upstream_shape() {
+        let rows = vec![Row {
+            series: "a".into(),
+            x: 1.0,
+            y: 0.25,
+        }];
+        let s = super::to_string_pretty(&rows[..]).unwrap();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"series\": \"a\",\n    \"x\": 1.0,\n    \"y\": 0.25\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn compact_and_escapes() {
+        let s = super::to_string(&vec!["a\"b\\c\nd".to_string()]).unwrap();
+        assert_eq!(s, "[\"a\\\"b\\\\c\\nd\"]");
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string(&3u32).unwrap(), "3");
+        assert_eq!(super::to_string(&3.0f64).unwrap(), "3.0");
+    }
+}

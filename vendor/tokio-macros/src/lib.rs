@@ -1,0 +1,60 @@
+//! `#[tokio::main]` / `#[tokio::test]` for the vendored tokio shim.
+//!
+//! Rewrites `async fn f(...) { body }` into
+//! `fn f(...) { ::tokio::runtime::block_on(async move { body }) }`,
+//! with `#[test]` prepended for the test variant. No syn/quote — the
+//! signature is token-surgery: drop the `async` keyword, wrap the body.
+
+use proc_macro::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+fn wrap(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("tokio shim macro: expected a function with a body");
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.clone(),
+        _ => unreachable!(),
+    };
+
+    let mut out: Vec<TokenTree> = Vec::new();
+    if is_test {
+        out.extend("#[test]".parse::<TokenStream>().unwrap());
+    }
+    for t in &tokens[..body_idx] {
+        if matches!(t, TokenTree::Ident(id) if id.to_string() == "async") {
+            continue;
+        }
+        out.push(t.clone());
+    }
+
+    let call_args: TokenStream = vec![
+        TokenTree::Ident(Ident::new("async", Span::call_site())),
+        TokenTree::Ident(Ident::new("move", Span::call_site())),
+        TokenTree::Group(body),
+    ]
+    .into_iter()
+    .collect();
+    let mut new_body: Vec<TokenTree> = "::tokio::runtime::block_on"
+        .parse::<TokenStream>()
+        .unwrap()
+        .into_iter()
+        .collect();
+    new_body.push(TokenTree::Group(Group::new(Delimiter::Parenthesis, call_args)));
+    out.push(TokenTree::Group(Group::new(
+        Delimiter::Brace,
+        new_body.into_iter().collect(),
+    )));
+    out.into_iter().collect()
+}
+
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, true)
+}

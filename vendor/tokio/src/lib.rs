@@ -1,0 +1,361 @@
+//! Minimal offline stand-in for tokio: a thread-per-task blocking
+//! runtime. Every `spawn` gets its own OS thread and every I/O "future"
+//! performs the blocking std::net call on first poll, so async fns in
+//! this workspace behave exactly like the real thing for the
+//! request/response socket patterns the prototype uses — concurrency
+//! comes from threads, not from a reactor.
+
+#![allow(async_fn_in_trait)]
+
+pub use tokio_macros::{main, test};
+
+pub mod runtime {
+    use std::future::Future;
+    use std::sync::Arc;
+    use std::task::{Context, Poll, Wake, Waker};
+
+    struct ThreadWaker(std::thread::Thread);
+
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    /// Drives a future to completion on the current thread, parking
+    /// between polls. Unpark-before-park sets the park token, so
+    /// wake-ups cannot be lost.
+    pub fn block_on<F: Future>(fut: F) -> F::Output {
+        let mut fut = std::pin::pin!(fut);
+        let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        loop {
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+}
+
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// Join failure: the task panicked.
+    pub struct JoinError {
+        msg: String,
+    }
+
+    impl JoinError {
+        pub(crate) fn panicked(payload: Box<dyn std::any::Any + Send>) -> Self {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "task panicked".to_string());
+            JoinError { msg }
+        }
+
+        pub fn is_panic(&self) -> bool {
+            true
+        }
+    }
+
+    impl std::fmt::Debug for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "JoinError::Panic({:?})", self.msg)
+        }
+    }
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "task panicked: {}", self.msg)
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    pub(crate) struct TaskState<T> {
+        pub(crate) result: Option<Result<T, JoinError>>,
+        pub(crate) waker: Option<Waker>,
+    }
+
+    /// Handle to a spawned task; awaiting it yields the task's output.
+    pub struct JoinHandle<T> {
+        pub(crate) state: Arc<Mutex<TaskState<T>>>,
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut st = self.state.lock().unwrap();
+            match st.result.take() {
+                Some(r) => Poll::Ready(r),
+                None => {
+                    st.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Spawns the future on a dedicated OS thread, polling it to completion
+/// there. The returned handle resolves once the thread finishes.
+pub fn spawn<F>(fut: F) -> task::JoinHandle<F::Output>
+where
+    F: std::future::Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    use std::sync::{Arc, Mutex};
+    let state = Arc::new(Mutex::new(task::TaskState {
+        result: None,
+        waker: None,
+    }));
+    let shared = Arc::clone(&state);
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            runtime::block_on(fut)
+        }))
+        .map_err(task::JoinError::panicked);
+        let mut st = shared.lock().unwrap();
+        st.result = Some(result);
+        if let Some(w) = st.waker.take() {
+            w.wake();
+        }
+    });
+    task::JoinHandle { state }
+}
+
+pub mod net {
+    use std::io;
+    use std::net::{SocketAddr, ToSocketAddrs};
+
+    pub mod tcp {
+        /// Read half of a split [`super::TcpStream`] (a cloned fd).
+        pub struct OwnedReadHalf {
+            pub(crate) inner: std::net::TcpStream,
+        }
+
+        /// Write half of a split [`super::TcpStream`]. Like tokio's,
+        /// dropping it shuts down the write direction.
+        pub struct OwnedWriteHalf {
+            pub(crate) inner: std::net::TcpStream,
+        }
+
+        impl Drop for OwnedWriteHalf {
+            fn drop(&mut self) {
+                let _ = self.inner.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+
+    pub struct TcpStream {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            Ok(TcpStream {
+                inner: std::net::TcpStream::connect(addr)?,
+            })
+        }
+
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        pub fn into_split(self) -> (tcp::OwnedReadHalf, tcp::OwnedWriteHalf) {
+            let write = self
+                .inner
+                .try_clone()
+                .expect("tokio shim: failed to clone TcpStream for split");
+            (
+                tcp::OwnedReadHalf { inner: self.inner },
+                tcp::OwnedWriteHalf { inner: write },
+            )
+        }
+    }
+
+    pub struct TcpListener {
+        pub(crate) inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            Ok(TcpListener {
+                inner: std::net::TcpListener::bind(addr)?,
+            })
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, peer) = self.inner.accept()?;
+            Ok((TcpStream { inner: stream }, peer))
+        }
+    }
+}
+
+pub mod io {
+    use std::io::{Read, Result, Write};
+
+    pub trait AsyncReadExt {
+        async fn read(&mut self, buf: &mut [u8]) -> Result<usize>;
+
+        async fn read_exact(&mut self, buf: &mut [u8]) -> Result<usize>;
+
+        async fn read_u8(&mut self) -> Result<u8> {
+            let mut b = [0u8; 1];
+            self.read_exact(&mut b).await?;
+            Ok(b[0])
+        }
+
+        async fn read_u32(&mut self) -> Result<u32> {
+            let mut b = [0u8; 4];
+            self.read_exact(&mut b).await?;
+            Ok(u32::from_be_bytes(b))
+        }
+    }
+
+    pub trait AsyncWriteExt {
+        async fn write_all(&mut self, buf: &[u8]) -> Result<()>;
+
+        async fn flush(&mut self) -> Result<()>;
+
+        async fn write_u8(&mut self, v: u8) -> Result<()> {
+            self.write_all(&[v]).await
+        }
+
+        async fn write_u32(&mut self, v: u32) -> Result<()> {
+            self.write_all(&v.to_be_bytes()).await
+        }
+
+        async fn shutdown(&mut self) -> Result<()>;
+    }
+
+    macro_rules! impl_async_io {
+        ($ty:ty) => {
+            impl AsyncReadExt for $ty {
+                async fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+                    Read::read(&mut self.inner, buf)
+                }
+
+                async fn read_exact(&mut self, buf: &mut [u8]) -> Result<usize> {
+                    Read::read_exact(&mut self.inner, buf)?;
+                    Ok(buf.len())
+                }
+            }
+
+            impl AsyncWriteExt for $ty {
+                async fn write_all(&mut self, buf: &[u8]) -> Result<()> {
+                    Write::write_all(&mut self.inner, buf)
+                }
+
+                async fn flush(&mut self) -> Result<()> {
+                    Write::flush(&mut self.inner)
+                }
+
+                async fn shutdown(&mut self) -> Result<()> {
+                    self.inner.shutdown(std::net::Shutdown::Write)
+                }
+            }
+        };
+    }
+
+    impl_async_io!(crate::net::TcpStream);
+    impl_async_io!(crate::net::tcp::OwnedReadHalf);
+    impl_async_io!(crate::net::tcp::OwnedWriteHalf);
+}
+
+pub mod time {
+    use std::time::Duration;
+
+    /// Blocking sleep — correct here because every task owns a thread.
+    pub async fn sleep(duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[test]
+    fn block_on_and_spawn_round_trip() {
+        let out = crate::runtime::block_on(async {
+            let h = crate::spawn(async { 21 * 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn spawn_panic_becomes_join_error() {
+        let r = crate::runtime::block_on(async {
+            crate::spawn(async { panic!("boom") }).await
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tcp_echo_between_tasks() {
+        crate::runtime::block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (stream, _) = listener.accept().await.unwrap();
+                let (mut rd, mut wr) = stream.into_split();
+                let n = rd.read_u32().await.unwrap();
+                let mut buf = vec![0u8; n as usize];
+                rd.read_exact(&mut buf).await.unwrap();
+                wr.write_u32(n).await.unwrap();
+                wr.write_all(&buf).await.unwrap();
+            });
+            let stream = crate::net::TcpStream::connect(addr).await.unwrap();
+            let (mut rd, mut wr) = stream.into_split();
+            wr.write_u32(5).await.unwrap();
+            wr.write_all(b"hello").await.unwrap();
+            assert_eq!(rd.read_u32().await.unwrap(), 5);
+            let mut buf = [0u8; 5];
+            rd.read_exact(&mut buf).await.unwrap();
+            assert_eq!(&buf, b"hello");
+            server.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn eof_reads_error_with_unexpected_eof() {
+        crate::runtime::block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let _ = listener.accept().await.unwrap();
+                // Dropped: the peer sees EOF.
+            });
+            let stream = crate::net::TcpStream::connect(addr).await.unwrap();
+            let (mut rd, _wr) = stream.into_split();
+            server.await.unwrap();
+            let err = rd.read_u32().await.unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        });
+    }
+}
