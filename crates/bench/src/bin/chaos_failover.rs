@@ -1,0 +1,222 @@
+//! Chaos failover sweep (§4.6 resilience): kill 1 of V MMPs mid-run and
+//! measure what replication degree R buys — requests lost, recovery
+//! time, and p99 latency before/during/after the crash, for R ∈ {1,2,3}.
+//!
+//! `--smoke` runs a small, fast configuration for CI and writes no
+//! result files; the full run writes `results/chaos_failover.json` and
+//! the headline table `results/BENCH_failover.json`.
+//!
+//! Every point is run twice with the same seed and the reports are
+//! compared field-for-field: the chaos path (fault plan, detection,
+//! backoff jitter, repair) is deterministic by construction.
+
+use scale_bench::{emit, ms, run_points, Row};
+use scale_sim::{
+    device_stream, uniform_rates, ChaosConfig, ChaosReport, ChaosSim, FaultPlan, ProcedureMix,
+};
+use serde::Serialize;
+
+struct Params {
+    n_vms: usize,
+    n_devices: usize,
+    total_rate: f64,
+    horizon: f64,
+    seed: u64,
+}
+
+fn run_once(r: usize, p: &Params) -> ChaosReport {
+    let cfg = ChaosConfig {
+        n_vms: p.n_vms,
+        replication: r,
+        ..Default::default()
+    };
+    let rates = uniform_rates(p.n_devices, p.total_rate);
+    let stream = device_stream(p.seed, &rates, ProcedureMix::typical(), p.horizon);
+    // Kill one of the V MMPs at the midpoint; no restart, so recovery
+    // must come from ring repair among the survivors.
+    let plan = FaultPlan::new().with_crash(p.horizon / 2.0, 1);
+    let mut sim = ChaosSim::new(cfg, p.n_devices, plan);
+    sim.run(&stream);
+    sim.finish(p.horizon)
+}
+
+fn same(a: &ChaosReport, b: &ChaosReport) -> bool {
+    // Bit equality on floats: an empty latency phase yields NaN, which
+    // must still compare equal across same-seed runs.
+    a.served == b.served
+        && a.lost == b.lost
+        && a.shed == b.shed
+        && a.retries == b.retries
+        && a.failovers == b.failovers
+        && a.re_registered == b.re_registered
+        && a.copies_restored == b.copies_restored
+        && a.recovery_s.to_bits() == b.recovery_s.to_bits()
+        && a.p99_before.to_bits() == b.p99_before.to_bits()
+        && a.p99_during.to_bits() == b.p99_during.to_bits()
+        && a.p99_after.to_bits() == b.p99_after.to_bits()
+}
+
+/// An empty latency phase (e.g. no "after" phase when R=1 never
+/// recovers) is NaN; report it as 0 so the JSON stays numeric.
+fn clean(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v
+    }
+}
+
+#[derive(Serialize)]
+struct Headline {
+    metric: &'static str,
+    r1: f64,
+    r2: f64,
+    r3: f64,
+    note: &'static str,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let p = if smoke {
+        Params {
+            n_vms: 4,
+            n_devices: 400,
+            total_rate: 200.0,
+            horizon: 20.0,
+            seed: 42,
+        }
+    } else {
+        Params {
+            n_vms: 8,
+            n_devices: 2000,
+            total_rate: 1000.0,
+            horizon: 60.0,
+            seed: 42,
+        }
+    };
+
+    let rs = [1usize, 2, 3];
+    let reports: Vec<ChaosReport> = run_points(rs.len(), |i| {
+        let first = run_once(rs[i], &p);
+        let second = run_once(rs[i], &p);
+        assert!(
+            same(&first, &second),
+            "chaos run R={} is not deterministic across same-seed runs",
+            rs[i]
+        );
+        first
+    });
+
+    println!(
+        "# chaos_failover: kill 1 of {} MMPs at t={:.0}s, {} devices, {:.0} req/s, horizon {:.0}s",
+        p.n_vms,
+        p.horizon / 2.0,
+        p.n_devices,
+        p.total_rate,
+        p.horizon
+    );
+    for (r, rep) in rs.iter().zip(&reports) {
+        println!(
+            "# R={r}: served={} lost={} shed={} retries={} failovers={} re_registered={} \
+             copies_restored={} recovery={:.2}s replicated={} \
+             p99 {:.2}/{:.2}/{:.2} ms",
+            rep.served,
+            rep.lost,
+            rep.shed,
+            rep.retries,
+            rep.failovers,
+            rep.re_registered,
+            rep.copies_restored,
+            rep.recovery_s,
+            rep.fully_replicated,
+            ms(rep.p99_before),
+            ms(rep.p99_during),
+            ms(rep.p99_after),
+        );
+    }
+
+    // Acceptance gates from the issue: replication must bound loss and
+    // repair must restore the replication degree before end-of-run.
+    let (r1, r2) = (&reports[0], &reports[1]);
+    assert!(r1.lost > 0, "R=1 must lose the crashed MMP's requests");
+    assert!(
+        (r2.lost as f64) < 0.01 * r1.lost as f64 + 1.0,
+        "R=2 loss must be <1% of R=1 loss: {} vs {}",
+        r2.lost,
+        r1.lost
+    );
+    for (r, rep) in rs.iter().zip(&reports).skip(1) {
+        assert!(
+            rep.fully_replicated,
+            "R={r}: replication degree not restored by end-of-run"
+        );
+        assert!(rep.recovery_s > 0.0, "R={r}: repair must take real time");
+    }
+    println!("# gates: R=2 loss {} < 1% of R=1 loss {}; degree restored", r2.lost, r1.lost);
+
+    if smoke {
+        println!("# smoke mode: skipping result files");
+        return;
+    }
+
+    let mut rows = Vec::new();
+    for (r, rep) in rs.iter().zip(&reports) {
+        let x = *r as f64;
+        rows.push(Row::new("requests-lost", x, rep.lost as f64));
+        rows.push(Row::new("requests-shed", x, rep.shed as f64));
+        rows.push(Row::new("failovers", x, rep.failovers as f64));
+        rows.push(Row::new("recovery-s", x, rep.recovery_s));
+        rows.push(Row::new("copies-restored", x, rep.copies_restored as f64));
+        rows.push(Row::new("p99-before-ms", x, clean(ms(rep.p99_before))));
+        rows.push(Row::new("p99-during-ms", x, clean(ms(rep.p99_during))));
+        rows.push(Row::new("p99-after-ms", x, clean(ms(rep.p99_after))));
+    }
+    emit(
+        "chaos_failover",
+        "Mid-run MMP crash: loss, recovery and latency vs replication degree",
+        "replication degree R",
+        "per-series metric",
+        &rows,
+    );
+
+    let headline = |metric, f: &dyn Fn(&ChaosReport) -> f64, note| Headline {
+        metric,
+        r1: f(&reports[0]),
+        r2: f(&reports[1]),
+        r3: f(&reports[2]),
+        note,
+    };
+    let headlines = vec![
+        headline(
+            "requests_lost",
+            &|r| r.lost as f64,
+            "kill 1 of 8 MMPs mid-run; R>=2 bounds loss to <1% of R=1",
+        ),
+        headline(
+            "recovery_s",
+            &|r| r.recovery_s,
+            "first crash to re-replication complete (virtual seconds)",
+        ),
+        headline(
+            "p99_during_ms",
+            &|r| clean(ms(r.p99_during)),
+            "p99 latency while detection+repair are in flight",
+        ),
+        headline(
+            "p99_after_ms",
+            &|r| clean(ms(r.p99_after)),
+            "p99 latency once the fleet has healed (0: never healed)",
+        ),
+    ];
+    let path = "results/BENCH_failover.json";
+    match serde_json::to_string_pretty(&headlines) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warn: could not write {path}: {e}");
+            } else {
+                println!("# wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("warn: serialize failed: {e}"),
+    }
+}

@@ -74,6 +74,19 @@ pub struct DcStats {
     /// States moved during epoch rebalancing.
     pub transfers: u64,
     pub epochs: u64,
+    /// MMP VMs lost to injected crashes.
+    pub crashes: u64,
+}
+
+/// Outcome of one ring-repair pass after MMP crashes (§4.6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairReport {
+    /// Crashed VMs taken off the ring by this pass.
+    pub vms_repaired: usize,
+    /// Devices found under-replicated before re-replication.
+    pub under_replicated: usize,
+    /// Replica copies pushed to restore the replication degree.
+    pub copies_restored: u64,
 }
 
 /// Report from one epoch run.
@@ -96,6 +109,8 @@ pub struct ScaleDc {
     mmps: BTreeMap<VmId, MmeCore>,
     /// Devices restricted to a single (master) copy this epoch.
     single_copy: BTreeSet<u32>,
+    /// Crashed VMs still on the ring, awaiting [`Self::repair`].
+    crashed: BTreeSet<VmId>,
     load_estimator: LoadEstimator,
     window_messages: u64,
     pub stats: DcStats,
@@ -113,6 +128,7 @@ impl ScaleDc {
             ),
             mmps: BTreeMap::new(),
             single_copy: BTreeSet::new(),
+            crashed: BTreeSet::new(),
             load_estimator: LoadEstimator::new(config.load_alpha, 0.0),
             window_messages: 0,
             stats: DcStats::default(),
@@ -191,6 +207,104 @@ impl ScaleDc {
         true
     }
 
+    /// Crash an MMP VM (fault injection, §4.6): its engine — and every
+    /// state copy it held — is gone instantly, with no graceful export.
+    /// The VM stays on the ring until detection marks it down and
+    /// [`Self::repair`] re-replicates its ranges; until then requests
+    /// routed to it fail and feed the MLB's error counters. Refuses to
+    /// crash the last VM (the DC would be empty).
+    pub fn crash_mmp(&mut self, vm: VmId) -> bool {
+        if !self.mmps.contains_key(&vm) || self.mmps.len() == 1 {
+            return false;
+        }
+        self.mmps.remove(&vm);
+        self.crashed.insert(vm);
+        self.stats.crashes += 1;
+        true
+    }
+
+    /// Ring repair after crashes: take every crashed VM off the ring
+    /// (diffing the holder sets via the epoch bump), find devices left
+    /// under-replicated, and re-replicate them from surviving copies.
+    /// The replication traffic is charged to the serving VMs' load
+    /// windows, so recovery competes with foreground capacity exactly
+    /// as the paper's signaling-overhead accounting does. Devices whose
+    /// every copy died (R too low) are unrecoverable here — they
+    /// reappear only when the UE re-attaches.
+    pub fn repair(&mut self) -> RepairReport {
+        let mut report = RepairReport::default();
+        for vm in std::mem::take(&mut self.crashed) {
+            self.mlb.mark_down(vm);
+            self.mlb.remove_mmp(vm);
+            report.vms_repaired += 1;
+        }
+        let before = self.stats.replications;
+        let ids: Vec<u32> = self.device_weights().keys().copied().collect();
+        for m_tmsi in ids {
+            let guti = self.mlb.guti(m_tmsi);
+            let mut desired = self.mlb.holders(m_tmsi);
+            if self.single_copy.contains(&m_tmsi) {
+                desired.truncate(1);
+            }
+            // Diff the post-removal ring against reality: only devices
+            // whose copy set differs from their desired holder set get
+            // re-replication traffic scheduled.
+            let missing = desired.iter().any(|v| {
+                self.mmps
+                    .get(v)
+                    .map(|m| m.context(&guti).is_none())
+                    .unwrap_or(true)
+            });
+            let strays = self
+                .mmps
+                .iter()
+                .any(|(v, m)| m.context(&guti).is_some() && !desired.contains(v));
+            if missing {
+                report.under_replicated += 1;
+            }
+            if missing || strays {
+                self.sync_holders(guti, None);
+            }
+        }
+        report.copies_restored = self.stats.replications - before;
+        report
+    }
+
+    /// Restart a crashed/removed MMP VM under its old id: it rejoins
+    /// the ring via the same deterministic token placement, is warmed
+    /// by pulling the replicas its arcs now own, and only then is
+    /// marked routable.
+    pub fn restart_mmp(&mut self, vm: VmId) -> bool {
+        if self.mmps.contains_key(&vm) || vm == 0 || vm > 255 {
+            return false;
+        }
+        // If the crash was never repaired, repair first so the pull
+        // below starts from a fully replicated survivor set.
+        if self.crashed.contains(&vm) {
+            self.repair();
+        }
+        let engine = MmeCore::new(MmeConfig {
+            plmn: self.config.plmn,
+            mme_group_id: self.config.mme_group_id,
+            mme_code: self.config.mme_code,
+            mme_name: format!("mmp-{vm}"),
+            vm_id: vm as u8,
+            ..MmeConfig::default()
+        });
+        self.mmps.insert(vm, engine);
+        self.mlb.add_mmp(vm);
+        // Warming: down (unroutable) while replicas are pulled onto the
+        // arcs the rejoined VM now owns.
+        self.mlb.health.mark_down(vm);
+        let ids: Vec<u32> = self.device_weights().keys().copied().collect();
+        for m_tmsi in ids {
+            let guti = self.mlb.guti(m_tmsi);
+            self.sync_holders(guti, None);
+        }
+        self.mlb.mark_up(vm);
+        true
+    }
+
     /// Ensure `guti`'s state lives on exactly its desired holders.
     /// `source` (if given) is a VM known to hold a fresh copy.
     fn sync_holders(&mut self, guti: Guti, source: Option<VmId>) {
@@ -225,6 +339,11 @@ impl ScaleDc {
                     if let Some(engine) = self.mmps.get_mut(&vm) {
                         let _ = engine.import_state(blob.clone());
                         self.stats.replications += 1;
+                        // Replication costs service capacity on both
+                        // ends — repair traffic competes with the
+                        // foreground load the MLB balances on.
+                        self.mlb.record_handled(from);
+                        self.mlb.record_handled(vm);
                     }
                 } else {
                     // `from` already holds the fresh copy.
@@ -253,26 +372,32 @@ impl ScaleDc {
     /// back to the master (counting a forward, §4.6 case 2).
     fn route_with_state(&mut self, m_tmsi: u32) -> Option<VmId> {
         let guti = self.mlb.guti(m_tmsi);
-        let chosen = self.mlb.route_idle_transition(m_tmsi)?;
         let has = |dc: &Self, vm: VmId| {
             dc.mmps
                 .get(&vm)
                 .map(|m| m.context(&guti).is_some())
                 .unwrap_or(false)
         };
-        if has(self, chosen) {
-            return Some(chosen);
-        }
-        self.stats.forwards += 1;
-        // Forward along the holder list, then anywhere the state lives.
-        for vm in self.mlb.holders(m_tmsi) {
-            if has(self, vm) {
-                return Some(vm);
+        // `route_idle_transition` already skips holders marked down;
+        // `None` means every holder is down, not that the state is gone.
+        if let Some(chosen) = self.mlb.route_idle_transition(m_tmsi) {
+            if has(self, chosen) {
+                return Some(chosen);
+            }
+            // Forward along the holder list.
+            for vm in self.mlb.holders(m_tmsi) {
+                if !self.mlb.is_down(vm) && has(self, vm) {
+                    self.stats.forwards += 1;
+                    return Some(vm);
+                }
             }
         }
+        self.stats.forwards += 1;
+        // Last resort: anywhere a live VM still has the state.
+        let mlb = &self.mlb;
         self.mmps
             .iter()
-            .find(|(_, m)| m.context(&guti).is_some())
+            .find(|(v, m)| !mlb.is_down(**v) && m.context(&guti).is_some())
             .map(|(v, _)| *v)
     }
 
@@ -375,6 +500,32 @@ impl ScaleDc {
         }
     }
 
+    /// Find a live replica able to serve an Active-mode event whose
+    /// embedded VM crashed — the explicit state-promotion of §4.6. The
+    /// replica is located through the id indices its imported copy
+    /// kept: the S11 TEID is minted once per session so DDN failover
+    /// always resolves; an MME-UE-S1AP-ID re-minted after the last
+    /// replica refresh resolves nowhere and the request is lost (the
+    /// UE recovers by re-attaching).
+    fn promotion_target(&self, ev: &Incoming) -> Option<VmId> {
+        let live = |vm: &VmId| !self.mlb.is_down(*vm);
+        match ev {
+            Incoming::S1ap { pdu, .. } => {
+                let id = pdu.mme_ue_id()?;
+                self.mmps
+                    .iter()
+                    .find(|(v, m)| live(v) && m.m_tmsi_by_mme_ue_id(id).is_some())
+                    .map(|(v, _)| *v)
+            }
+            Incoming::S11(msg) => self
+                .mmps
+                .iter()
+                .find(|(v, m)| live(v) && m.m_tmsi_by_s11_teid(msg.teid).is_some())
+                .map(|(v, _)| *v),
+            Incoming::S6a(_) => None,
+        }
+    }
+
     /// Process one event end-to-end through the cluster.
     pub fn handle(&mut self, ev: Incoming) -> Result<Vec<Outgoing>, MmeError> {
         self.stats.messages += 1;
@@ -400,6 +551,27 @@ impl ScaleDc {
         }
 
         let (vm, hint) = self.route(&ev)?;
+        // Failure detection + failover: a route can still point at a
+        // crashed VM (Active-mode ids embed the serving MMP). Feed the
+        // error counters — that is how the MLB *notices* the crash —
+        // then promote a surviving replica that indexes the same
+        // device, or count the request lost.
+        let vm = if self.mmps.contains_key(&vm) && !self.mlb.is_down(vm) {
+            vm
+        } else {
+            self.mlb.record_error(vm);
+            match self.promotion_target(&ev) {
+                Some(alt) => {
+                    self.mlb.failover_stats.failovers += 1;
+                    self.mlb.failover_stats.promotions += 1;
+                    alt
+                }
+                None => {
+                    self.mlb.failover_stats.lost += 1;
+                    return Err(MmeError::UnknownUe("no replica to promote for crashed MMP"));
+                }
+            }
+        };
         let engine = self
             .mmps
             .get_mut(&vm)
@@ -409,6 +581,7 @@ impl ScaleDc {
         }
         let outs = engine.handle(ev)?;
         self.mlb.record_handled(vm);
+        self.mlb.record_ok(vm);
 
         // Post-process lifecycle events for replication bookkeeping.
         let mut result = Vec::with_capacity(outs.len());
@@ -705,6 +878,120 @@ mod tests {
         for ue in 0..10 {
             assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
         }
+    }
+
+    /// Copies of each attached device's state across live VMs.
+    fn copies_of(net: &Network<ScaleDc>, m_tmsi: u32) -> usize {
+        let guti = net.cp.mlb.guti(m_tmsi);
+        net.cp
+            .vm_ids()
+            .iter()
+            .filter(|v| {
+                net.cp.mmps.get(v).map(|m| m.context(&guti).is_some()) == Some(true)
+            })
+            .count()
+    }
+
+    #[test]
+    fn crash_survives_via_surviving_replica() {
+        // R=2: kill one VM without any graceful export; every idle
+        // device must still be serviceable from its surviving copy.
+        let mut net = scale_net(4, 10);
+        for ue in 0..10 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let victim = *net.cp.vm_ids().first().unwrap();
+        assert!(net.cp.crash_mmp(victim));
+        for ue in 0..10 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+            assert!(net.go_idle(ue));
+        }
+        assert_eq!(net.cp.stats.crashes, 1);
+    }
+
+    #[test]
+    fn repair_restores_replication_degree() {
+        let mut net = scale_net(4, 12);
+        for ue in 0..12 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let victim = *net.cp.vm_ids().first().unwrap();
+        assert!(net.cp.crash_mmp(victim));
+        let report = net.cp.repair();
+        assert_eq!(report.vms_repaired, 1);
+        assert!(report.copies_restored > 0, "repair must re-replicate");
+        // Replication degree is back to R for every surviving device,
+        // and no copy lives on the crashed VM.
+        for ue in 0..12 {
+            let m_tmsi = net.ues[ue].guti.expect("registered").m_tmsi;
+            assert_eq!(copies_of(&net, m_tmsi), 2, "ue {ue} under-replicated");
+        }
+        assert!(!net.cp.vm_ids().contains(&victim));
+        // A second pass finds nothing left to fix.
+        let again = net.cp.repair();
+        assert_eq!(again.under_replicated, 0);
+        assert_eq!(again.copies_restored, 0);
+    }
+
+    #[test]
+    fn ddn_fails_over_with_state_promotion() {
+        // The S11 TEID embeds the VM that minted it at attach. Crash
+        // that VM: the DDN must be promoted to a surviving replica,
+        // which pages the device and serves the whole wake-up.
+        let mut net = scale_net(4, 8);
+        for ue in 0..8 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        // Find a UE whose attach master still exists and has a peer
+        // holding the replica, then crash the master.
+        let m_tmsi = net.ues[0].guti.unwrap().m_tmsi;
+        let master = net.cp.mlb.master(m_tmsi).unwrap();
+        assert!(net.cp.crash_mmp(master));
+        let promoted_before = net.cp.mlb.failover_stats.promotions;
+        assert!(net.downlink_data(0), "{:?}", net.errors);
+        assert!(
+            net.cp.mlb.failover_stats.promotions > promoted_before
+                || net.cp.mlb.master(m_tmsi) != Some(master),
+            "DDN to the crashed master must promote a replica"
+        );
+    }
+
+    #[test]
+    fn restart_rejoins_warm_before_routable() {
+        let mut net = scale_net(4, 12);
+        for ue in 0..12 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let victim = *net.cp.vm_ids().first().unwrap();
+        assert!(net.cp.crash_mmp(victim));
+        net.cp.repair();
+        // Restart under the old id: deterministic token placement puts
+        // it back on its old arcs; the warm-up pull must hand it the
+        // replicas those arcs own before it serves traffic.
+        assert!(net.cp.restart_mmp(victim));
+        assert!(!net.cp.mlb.is_down(victim), "marked routable after warm-up");
+        assert!(
+            net.cp.states_on(victim) > 0,
+            "rejoined VM warmed by replica pull"
+        );
+        for ue in 0..12 {
+            assert!(net.service_request(ue), "ue {ue}: {:?}", net.errors);
+        }
+    }
+
+    #[test]
+    fn crash_refuses_last_vm() {
+        let mut dc = ScaleDc::new(ScaleConfig {
+            initial_vms: 1,
+            ..Default::default()
+        });
+        let vm = dc.vm_ids()[0];
+        assert!(!dc.crash_mmp(vm));
+        assert_eq!(dc.vm_count(), 1);
     }
 
     #[test]

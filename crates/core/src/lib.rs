@@ -6,6 +6,8 @@
 //!   by consistent hashing + embedded VM ids, with no per-device table;
 //! * [`cluster`] — a complete SCALE DC ([`ScaleDc`]): elastic MMP fleet,
 //!   Idle-edge state replication, epoch provisioning and rebalancing;
+//! * [`failover`] — failure detection, bounded retry with backoff, and
+//!   overload-shedding policy (§4.6 "Failure resilience");
 //! * [`provision`] — Eq 1–3: VM provisioning, β, access-aware allocation;
 //! * [`geo`] — geo-multiplexing budgets and the delay-weighted remote-DC
 //!   selector (§4.5.2);
@@ -18,12 +20,17 @@
 
 pub mod baseline;
 pub mod cluster;
+pub mod failover;
 pub mod geo;
 pub mod mlb;
 pub mod provision;
 
 pub use baseline::{LegacyPool, PoolMember, PoolStats};
-pub use cluster::{DcStats, EpochReport, ScaleConfig, ScaleDc};
+pub use cluster::{DcStats, EpochReport, RepairReport, ScaleConfig, ScaleDc};
+pub use failover::{
+    BackoffPolicy, FailoverConfig, FailoverStats, HealthConfig, HealthTracker, Priority,
+    ShedPolicy, TokenBucket, VmHealth,
+};
 pub use geo::{DcBudget, DcId, DelayMatrix, GeoSelector};
 pub use mlb::{MlbRouter, MlbStats, VmId, VmLoad};
 pub use provision::{

@@ -19,6 +19,7 @@
 //! cached per routing epoch (invalidated whenever a VM joins or leaves
 //! the ring).
 
+use crate::failover::{FailoverConfig, FailoverStats, HealthTracker, Priority, TokenBucket};
 use scale_hashring::{position_of, HashRing, PositionCache};
 use scale_mme::vm_of_id;
 use scale_nas::{Guti, Plmn};
@@ -74,6 +75,14 @@ pub struct MlbRouter {
     /// EWMA smoothing for load updates.
     pub load_alpha: f64,
     pub stats: MlbStats,
+    /// Per-VM liveness (missed heartbeats / consecutive errors, §4.6).
+    pub health: HealthTracker,
+    /// Retry / shedding policy shared with the cluster.
+    pub failover: FailoverConfig,
+    /// Counters for the failure experiments.
+    pub failover_stats: FailoverStats,
+    /// Admission limiter for low-priority traffic under overload.
+    shed_bucket: TokenBucket,
 }
 
 /// Routing counters.
@@ -87,6 +96,7 @@ pub struct MlbStats {
 
 impl MlbRouter {
     pub fn new(tokens: u32, replication: usize, plmn: Plmn, mme_group_id: u16, mme_code: u8) -> Self {
+        let failover = FailoverConfig::default();
         MlbRouter {
             ring: HashRing::new(tokens),
             replication,
@@ -100,7 +110,18 @@ impl MlbRouter {
             positions: PositionCache::new(4096),
             load_alpha: 0.3,
             stats: MlbStats::default(),
+            health: HealthTracker::new(failover.health),
+            shed_bucket: TokenBucket::new(failover.shed.bucket_rate, failover.shed.bucket_burst),
+            failover,
+            failover_stats: FailoverStats::default(),
         }
+    }
+
+    /// Replace the failover policy (thresholds, backoff, shedding).
+    pub fn set_failover(&mut self, config: FailoverConfig) {
+        self.failover = config;
+        self.health = HealthTracker::new(config.health);
+        self.shed_bucket = TokenBucket::new(config.shed.bucket_rate, config.shed.bucket_burst);
     }
 
     fn load_slot(&mut self, vm: VmId) -> &mut VmLoad {
@@ -112,20 +133,114 @@ impl MlbRouter {
         &mut self.loads[i]
     }
 
-    /// Register a new MMP VM on the ring.
+    /// Register a new MMP VM on the ring. The load and health slots
+    /// start clean even if the 8-bit id is being reused.
     pub fn add_mmp(&mut self, vm: VmId) {
         self.ring.add_node(vm);
-        self.load_slot(vm);
+        *self.load_slot(vm) = VmLoad::default();
+        self.health.forget(vm);
         self.epoch += 1;
     }
 
-    /// Remove an MMP VM.
+    /// Remove an MMP VM. Its dense load and health slots are reset here
+    /// — not lazily on re-add — so a departed VM can never linger with
+    /// stale in-flight counts that skew least-loaded routing.
     pub fn remove_mmp(&mut self, vm: VmId) {
         self.ring.remove_node(&vm);
         if let Some(slot) = self.loads.get_mut(vm as usize) {
             *slot = VmLoad::default();
         }
+        self.health.forget(vm);
         self.epoch += 1;
+    }
+
+    /// Mark a VM down (crash detected): its cached routes are
+    /// invalidated by the epoch bump and idle routing skips it until
+    /// [`Self::mark_up`]. Returns true if the VM was previously up.
+    pub fn mark_down(&mut self, vm: VmId) -> bool {
+        let newly = self.health.mark_down(vm);
+        if newly {
+            self.failover_stats.vms_marked_down += 1;
+            self.epoch += 1;
+        }
+        newly
+    }
+
+    /// Mark a VM healthy and routable again (restarted + warmed).
+    pub fn mark_up(&mut self, vm: VmId) {
+        self.health.mark_up(vm);
+        self.epoch += 1;
+    }
+
+    /// Is the VM currently marked down?
+    pub fn is_down(&self, vm: VmId) -> bool {
+        self.health.is_down(vm)
+    }
+
+    /// Record a request error against a VM; crossing the consecutive-
+    /// error threshold marks it down (returns true on that transition).
+    pub fn record_error(&mut self, vm: VmId) -> bool {
+        if self.health.record_error(vm) {
+            self.failover_stats.vms_marked_down += 1;
+            self.epoch += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Record a successful exchange with a VM (resets its error streak).
+    pub fn record_ok(&mut self, vm: VmId) {
+        self.health.record_ok(vm);
+    }
+
+    /// Record a missed heartbeat; crossing the miss threshold marks the
+    /// VM down (returns true on that transition).
+    pub fn miss_heartbeat(&mut self, vm: VmId) -> bool {
+        if self.health.miss_heartbeat(vm) {
+            self.failover_stats.vms_marked_down += 1;
+            self.epoch += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Record a heartbeat ack (resets the miss streak).
+    pub fn heartbeat_ok(&mut self, vm: VmId) {
+        self.health.heartbeat_ok(vm);
+    }
+
+    /// Admission control (§4.6 overload): when every live replica
+    /// holder of `m_tmsi` is above the utilization threshold, a
+    /// low-priority request must win a token to be admitted; high-
+    /// priority requests always pass. `now` is in seconds (virtual or
+    /// wall-clock) and feeds the bucket refill.
+    pub fn admit(&mut self, m_tmsi: u32, priority: Priority, now: f64) -> bool {
+        if priority == Priority::High {
+            return true;
+        }
+        let (holders, n) = self.holders_cached(m_tmsi);
+        let threshold = self.failover.shed.util_threshold;
+        let mut any_live = false;
+        let mut all_hot = true;
+        for &vm in &holders[..n] {
+            if self.health.is_down(vm) {
+                continue;
+            }
+            any_live = true;
+            let load = self.loads.get(vm as usize).map(|l| l.ewma).unwrap_or(0.0);
+            if load <= threshold {
+                all_hot = false;
+            }
+        }
+        if !any_live || !all_hot {
+            return true; // only shed on overload, not on outage
+        }
+        if self.shed_bucket.try_take(now) {
+            true
+        } else {
+            self.failover_stats.shed += 1;
+            false
+        }
     }
 
     pub fn mmps(&self) -> &[VmId] {
@@ -197,10 +312,12 @@ impl MlbRouter {
         self.next_m_tmsi += 1;
         self.stats.new_attaches += 1;
         let (holders, n) = self.holders_cached(m_tmsi);
-        if n == 0 {
-            return None;
-        }
-        Some((m_tmsi, holders[0]))
+        // The first *live* holder takes the attach; a down master's
+        // successor stands in until the ring is repaired.
+        holders[..n]
+            .iter()
+            .find(|vm| !self.health.is_down(**vm))
+            .map(|vm| (m_tmsi, *vm))
     }
 
     /// Replica holders of a GUTI: master first, then ring successors.
@@ -220,15 +337,23 @@ impl MlbRouter {
         self.ring.primary(&guti.to_bytes()).copied()
     }
 
-    /// Route an Idle→Active request: least-loaded VM among the replica
-    /// holders (the fine-grained balancing of §4.6).
+    /// Route an Idle→Active request: least-loaded *live* VM among the
+    /// replica holders (the fine-grained balancing of §4.6). Holders
+    /// marked down are skipped — that skip is the replica failover of
+    /// §4.6, counted in [`FailoverStats::failovers`]. All holders down
+    /// → `None` (the request will be retried or counted lost upstream).
     pub fn route_idle_transition(&mut self, m_tmsi: u32) -> Option<VmId> {
         self.stats.idle_routes += 1;
         self.stats.lookups += 1;
         let (holders, n) = self.holders_cached(m_tmsi);
         let mut best: Option<VmId> = None;
         let mut best_load = f64::INFINITY;
+        let mut skipped_down = false;
         for &vm in &holders[..n] {
+            if self.health.is_down(vm) {
+                skipped_down = true;
+                continue;
+            }
             let load = self
                 .loads
                 .get(vm as usize)
@@ -240,6 +365,9 @@ impl MlbRouter {
                 best = Some(vm);
                 best_load = load;
             }
+        }
+        if skipped_down && best.is_some() {
+            self.failover_stats.failovers += 1;
         }
         best
     }
@@ -460,6 +588,95 @@ mod tests {
                 "m_tmsi {m}: routed outside the surviving pool"
             );
         }
+    }
+
+    #[test]
+    fn remove_mmp_resets_load_and_health_slots() {
+        // Regression: a removed VM's dense slots must be cleared at
+        // removal time — both the EWMA and the open window count, and
+        // any health streaks — so nothing stale survives id reuse.
+        let mut r = router(&[1, 2, 3]);
+        r.set_load(2, 0.8);
+        for _ in 0..50 {
+            r.record_handled(2);
+        }
+        r.record_error(2); // sub-threshold error streak
+        r.remove_mmp(2);
+        assert_eq!(r.load_of(2), 0.0, "EWMA must reset on removal");
+        assert!(!r.is_down(2));
+        // Closing a window right after removal must not resurrect the
+        // in-flight count into the EWMA.
+        r.close_load_window();
+        assert_eq!(r.load_of(2), 0.0, "window count leaked through removal");
+        // Re-adding the id starts from scratch.
+        r.add_mmp(2);
+        assert_eq!(r.load_of(2), 0.0);
+        assert_eq!(r.health.health(2).consecutive_errors, 0);
+    }
+
+    #[test]
+    fn down_holder_is_skipped_for_idle_routing() {
+        let mut r = router(&[1, 2, 3, 4, 5]);
+        let m_tmsi = 42;
+        let holders = r.holders(m_tmsi);
+        // Make the usually-chosen holder the least loaded, then kill it.
+        r.set_load(holders[0], 0.0);
+        r.set_load(holders[1], 0.9);
+        assert_eq!(r.route_idle_transition(m_tmsi), Some(holders[0]));
+        assert!(r.mark_down(holders[0]));
+        assert_eq!(
+            r.route_idle_transition(m_tmsi),
+            Some(holders[1]),
+            "failover to the surviving replica holder"
+        );
+        assert_eq!(r.failover_stats.failovers, 1);
+        // Recovery restores the original choice.
+        r.mark_up(holders[0]);
+        assert_eq!(r.route_idle_transition(m_tmsi), Some(holders[0]));
+    }
+
+    #[test]
+    fn consecutive_errors_mark_down() {
+        let mut r = router(&[1, 2, 3]);
+        assert!(!r.record_error(2), "below threshold");
+        assert!(!r.is_down(2));
+        assert!(r.record_error(2), "threshold crossed");
+        assert!(r.is_down(2));
+        assert_eq!(r.failover_stats.vms_marked_down, 1);
+    }
+
+    #[test]
+    fn all_holders_down_routes_none() {
+        let mut r = router(&[1, 2]);
+        r.mark_down(1);
+        r.mark_down(2);
+        assert_eq!(r.route_idle_transition(7), None);
+        // New attaches also have nowhere to go.
+        assert!(r.assign_guti().is_none());
+    }
+
+    #[test]
+    fn admission_sheds_low_priority_only_under_overload() {
+        use crate::failover::Priority;
+        let mut r = router(&[1, 2, 3]);
+        let m_tmsi = 9;
+        // Cool holders: everything admitted.
+        assert!(r.admit(m_tmsi, Priority::Low, 0.0));
+        // Saturate every holder.
+        for vm in [1, 2, 3] {
+            r.set_load(vm, 0.99);
+        }
+        // High priority always passes.
+        assert!(r.admit(m_tmsi, Priority::High, 0.0));
+        // Low priority drains the bucket, then sheds.
+        let burst = r.failover.shed.bucket_burst as usize;
+        for _ in 0..burst {
+            assert!(r.admit(m_tmsi, Priority::Low, 0.0));
+        }
+        assert!(!r.admit(m_tmsi, Priority::Low, 0.0), "bucket empty → shed");
+        assert!(r.failover_stats.shed >= 1);
+        // Tokens refill with time.
+        assert!(r.admit(m_tmsi, Priority::Low, 10.0));
     }
 
     #[test]

@@ -124,6 +124,52 @@ mod proptests {
             }
         }
 
+        /// Repair invariant under arbitrary churn (§4.6): after any
+        /// interleaving of adds and removes, every ring range is held by
+        /// exactly min(R, live VMs) distinct nodes, and no holder is a
+        /// VM that has been removed — the property `ScaleDc::repair`
+        /// restores after crashes.
+        #[test]
+        fn churn_preserves_replication_degree(
+            ops in proptest::collection::vec((any::<bool>(), 0u8..16), 1..50),
+            r in 1usize..4,
+        ) {
+            let mut ring: HashRing<String> = HashRing::new(5);
+            let mut live = std::collections::BTreeSet::new();
+            let mut removed = std::collections::BTreeSet::new();
+            for (add, id) in ops {
+                let node = format!("mmp-{id:02}");
+                if add {
+                    ring.add_node(node.clone());
+                    removed.remove(&node);
+                    live.insert(node);
+                } else if ring.remove_node(&node) {
+                    live.remove(&node);
+                    removed.insert(node);
+                }
+            }
+            prop_assert_eq!(ring.len(), live.len());
+            let want = r.min(live.len());
+            for (start, end, _owner) in ring.arcs() {
+                // Probe the arc's token point and one interior position.
+                for pos in [end, start.wrapping_add(1)] {
+                    let holders = ring.replicas_at(pos, r);
+                    prop_assert_eq!(
+                        holders.len(), want,
+                        "range must have min(R, live) holders"
+                    );
+                    let mut uniq = holders.clone();
+                    uniq.sort();
+                    uniq.dedup();
+                    prop_assert_eq!(uniq.len(), holders.len(), "duplicate holder");
+                    for h in &holders {
+                        prop_assert!(live.contains(*h), "holder {} is not live", h);
+                        prop_assert!(!removed.contains(*h), "removed VM {} still holds", h);
+                    }
+                }
+            }
+        }
+
         #[test]
         fn lookup_agrees_with_arcs(nodes in arb_nodes(), key in any::<u64>()) {
             let mut ring = HashRing::new(4);

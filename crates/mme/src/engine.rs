@@ -229,6 +229,21 @@ impl MmeCore {
         self.contexts.get(&guti.m_tmsi)
     }
 
+    /// M-TMSI of the device this engine indexes under a composed
+    /// MME-UE-S1AP-ID, if it holds (a copy of) that context. Used by
+    /// the MLB to find a replica to promote when the serving MMP
+    /// embedded in an Active-mode id has crashed.
+    pub fn m_tmsi_by_mme_ue_id(&self, id: u32) -> Option<u32> {
+        self.by_mme_ue_id.get(&id).copied()
+    }
+
+    /// Same, by S11 TEID (Downlink Data Notification failover: the
+    /// TEID is minted once at session creation, so replica copies keep
+    /// it indexed across Idle/Active cycles).
+    pub fn m_tmsi_by_s11_teid(&self, teid: u32) -> Option<u32> {
+        self.by_s11_teid.get(&teid).copied()
+    }
+
     /// Export a device's state for replication/transfer.
     pub fn export_state(&self, guti: &Guti) -> Option<Bytes> {
         self.contexts.get(&guti.m_tmsi).map(|c| c.to_bytes())

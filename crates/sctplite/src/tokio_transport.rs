@@ -21,8 +21,14 @@ use tokio::net::{TcpListener, TcpStream};
 pub enum TransportError {
     Io(io::Error),
     Protocol(SctpError),
-    /// Peer closed the TCP stream.
+    /// Peer vanished: the TCP stream ended without a SHUTDOWN
+    /// handshake. This is what a crashed MMP looks like from the MLB.
     Eof,
+    /// Association closed cleanly via the SHUTDOWN / SHUTDOWN-ACK
+    /// handshake — the peer *chose* to end the session.
+    Closed,
+    /// Peer aborted the association with a reason code.
+    Aborted(u8),
 }
 
 impl std::fmt::Display for TransportError {
@@ -30,7 +36,9 @@ impl std::fmt::Display for TransportError {
         match self {
             TransportError::Io(e) => write!(f, "io: {e}"),
             TransportError::Protocol(e) => write!(f, "protocol: {e}"),
-            TransportError::Eof => write!(f, "peer closed"),
+            TransportError::Eof => write!(f, "peer vanished"),
+            TransportError::Closed => write!(f, "association closed cleanly"),
+            TransportError::Aborted(reason) => write!(f, "association aborted: {reason}"),
         }
     }
 }
@@ -155,20 +163,33 @@ impl SctpStream {
         Ok(())
     }
 
-    /// Receive the next application message `(stream_id, ppid, payload)`.
-    /// Handles heartbeats and shutdown transparently; returns `Eof` when
-    /// the association or TCP stream closes.
-    pub async fn recv(&mut self) -> Result<(u16, u32, Bytes), TransportError> {
+    /// Receive the next association event: application data or a
+    /// heartbeat ack. Clean close, abort, and raw TCP loss surface as
+    /// the corresponding [`TransportError`] variants so a monitor can
+    /// tell a departed peer from a dead one.
+    pub async fn next_event(&mut self) -> Result<StreamEvent, TransportError> {
         loop {
-            // Surface any already-queued data first.
+            // Surface any already-queued events first.
             while let Some(ev) = self.assoc.poll_event() {
                 match ev {
                     Event::Data {
                         stream_id,
                         ppid,
                         payload,
-                    } => return Ok((stream_id, ppid, payload)),
-                    Event::Closed | Event::Aborted { .. } => return Err(TransportError::Eof),
+                    } => {
+                        return Ok(StreamEvent::Data {
+                            stream_id,
+                            ppid,
+                            payload,
+                        })
+                    }
+                    Event::HeartbeatAck { nonce } => {
+                        return Ok(StreamEvent::HeartbeatAck { nonce })
+                    }
+                    Event::Closed => return Err(TransportError::Closed),
+                    Event::Aborted { reason } => {
+                        return Err(TransportError::Aborted(reason))
+                    }
                     _ => {}
                 }
             }
@@ -180,14 +201,63 @@ impl SctpStream {
         }
     }
 
-    /// Graceful shutdown (best effort).
-    pub async fn shutdown(&mut self) -> Result<(), TransportError> {
-        self.assoc.shutdown();
+    /// Receive the next application message `(stream_id, ppid, payload)`.
+    /// Heartbeat acks are handled transparently; see [`Self::next_event`]
+    /// for the close/crash distinction in the error.
+    pub async fn recv(&mut self) -> Result<(u16, u32, Bytes), TransportError> {
+        loop {
+            if let StreamEvent::Data {
+                stream_id,
+                ppid,
+                payload,
+            } = self.next_event().await?
+            {
+                return Ok((stream_id, ppid, payload));
+            }
+        }
+    }
+
+    /// Send a HEARTBEAT probe carrying `nonce`. The peer's ack comes
+    /// back as [`StreamEvent::HeartbeatAck`] from [`Self::next_event`].
+    pub async fn ping(&mut self, nonce: u64) -> Result<(), TransportError> {
+        self.assoc.heartbeat(nonce)?;
         while let Some(f) = self.assoc.poll_egress() {
             write_frame(&mut self.wr, &f).await?;
         }
         Ok(())
     }
+
+    /// Graceful shutdown handshake: send SHUTDOWN and wait for the
+    /// peer's SHUTDOWN-ACK. `Ok(())` means the association closed
+    /// cleanly on both sides; any in-flight application data still
+    /// unread when the handshake starts is discarded. An `Eof` here
+    /// means the peer died mid-handshake.
+    pub async fn shutdown(&mut self) -> Result<(), TransportError> {
+        self.assoc.shutdown();
+        while let Some(f) = self.assoc.poll_egress() {
+            write_frame(&mut self.wr, &f).await?;
+        }
+        loop {
+            match self.next_event().await {
+                Err(TransportError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+                Ok(_) => {} // drain leftover data/acks
+            }
+        }
+    }
+}
+
+/// What [`SctpStream::next_event`] yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// One application message.
+    Data {
+        stream_id: u16,
+        ppid: u32,
+        payload: Bytes,
+    },
+    /// The peer answered a [`SctpStream::ping`].
+    HeartbeatAck { nonce: u64 },
 }
 
 /// Listener wrapper producing handshaken [`SctpStream`]s.
@@ -273,6 +343,44 @@ mod tests {
         let mut client = SctpStream::connect(&addr, 0x9).await.unwrap();
         server.await.unwrap();
         assert!(matches!(client.recv().await, Err(TransportError::Eof)));
+    }
+
+    #[tokio::test]
+    async fn clean_shutdown_is_not_a_crash() {
+        // The SHUTDOWN handshake must surface as `Closed` on the
+        // passive side and complete with `Ok` on the initiator —
+        // distinct from the `Eof` a dead peer produces.
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let mut s = listener.accept().await.unwrap();
+            let err = s.recv().await.unwrap_err();
+            assert!(matches!(err, TransportError::Closed), "got {err:?}");
+        });
+        let mut client = SctpStream::connect(&addr, 0x31).await.unwrap();
+        client.shutdown().await.unwrap();
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn heartbeat_ack_roundtrip() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let mut s = listener.accept().await.unwrap();
+            // The ack is generated inside the event pump; the server
+            // just has to keep reading until the client closes.
+            let err = s.recv().await.unwrap_err();
+            assert!(matches!(err, TransportError::Closed));
+        });
+        let mut client = SctpStream::connect(&addr, 0x32).await.unwrap();
+        client.ping(0xdead_beef).await.unwrap();
+        match client.next_event().await.unwrap() {
+            StreamEvent::HeartbeatAck { nonce } => assert_eq!(nonce, 0xdead_beef),
+            other => panic!("expected heartbeat ack, got {other:?}"),
+        }
+        client.shutdown().await.unwrap();
+        server.await.unwrap();
     }
 
     #[tokio::test]

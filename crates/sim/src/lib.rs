@@ -10,15 +10,21 @@
 //!   consistent-hash least-loaded);
 //! * [`geo`] — multi-DC simulation with propagation-delay matrices and
 //!   the IND / static-remote / replicated offloading strategies;
+//! * [`fault`] — fault injection ([`FaultPlan`], seeded [`ChaosRng`])
+//!   and the chaos-failover simulator: crash detection, replica
+//!   failover with bounded retry, ring-repair traffic and overload
+//!   shedding (§4.6);
 //! * [`workload`] — Poisson device streams, skewed populations, IoT
 //!   access-frequency cohorts and synchronous mass access;
 //! * [`metrics`] — percentiles, CDFs and CPU-trace time series.
 
+pub mod fault;
 pub mod geo;
 pub mod metrics;
 pub mod queueing;
 pub mod workload;
 
+pub use fault::{ChaosConfig, ChaosReport, ChaosRng, ChaosSim, FaultEvent, FaultKind, FaultPlan};
 pub use geo::{GeoDevice, GeoPlacement, GeoSim};
 pub use metrics::{ResultRow, Samples, TimeSeries};
 pub use queueing::{

@@ -9,10 +9,13 @@ use scale_epc::{EnbEvent, EnodeB, Hss, Sgw, Ue};
 use scale_mme::{Incoming, MmeConfig, MmeCore, Outgoing};
 use scale_nas::{Plmn, Tai};
 use scale_s1ap::S1apPdu;
-use scale_sctplite::{ppid, SctpListener, SctpStream};
+use scale_sctplite::{ppid, SctpListener, SctpStream, TransportError};
 
 /// MME-side task: terminate sctplite, run the engine + HSS + S-GW.
-async fn mme_server(mut listener: SctpListener) {
+/// Resolves to `true` when the eNodeB ended the session with the
+/// explicit SHUTDOWN handshake and `false` when the peer just vanished
+/// — the distinction the MLB's crash detection is built on.
+async fn mme_server(mut listener: SctpListener) -> bool {
     let mut stream = listener.accept().await.expect("accept");
     let mut mme = MmeCore::new(MmeConfig::default());
     let mut hss = Hss::new(99);
@@ -23,7 +26,8 @@ async fn mme_server(mut listener: SctpListener) {
     loop {
         let (_sid, p, payload) = match stream.recv().await {
             Ok(m) => m,
-            Err(_) => return, // client done
+            Err(TransportError::Closed) => return true, // clean handshake
+            Err(_) => return false,                     // peer crash
         };
         assert_eq!(p, ppid::S1AP);
         let pdu = S1apPdu::decode(payload).expect("s1ap decode");
@@ -40,12 +44,9 @@ async fn mme_server(mut listener: SctpListener) {
                 #[allow(clippy::collapsible_match)]
                 match out {
                     Outgoing::S1ap { pdu, .. } => {
-                        // The eNodeB may close right after its UE goes
-                        // Active, while responses to its final uplinks
-                        // are still in flight; a dead link ends the
-                        // session rather than crashing the MME task.
+                        // A dead link mid-send is a peer crash too.
                         if stream.send(1, ppid::S1AP, pdu.encode()).await.is_err() {
-                            return;
+                            return false;
                         }
                     }
                     Outgoing::S6a(msg) => {
@@ -120,9 +121,13 @@ async fn attach_over_real_tcp_sctplite() {
     assert!(ue.pdn_addr.is_some());
     assert!(ue.has_security(), "NAS security context established");
 
-    client.shutdown().await.ok();
+    // Deterministic teardown: the SHUTDOWN/SHUTDOWN-ACK handshake must
+    // complete on the client, and the server must classify the close as
+    // clean (not a peer crash).
+    client.shutdown().await.expect("shutdown handshake");
     drop(client);
-    server.await.unwrap();
+    let clean = server.await.unwrap();
+    assert!(clean, "server saw a crash instead of a clean shutdown");
 }
 
 #[tokio::test]
