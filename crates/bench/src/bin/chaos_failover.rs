@@ -11,6 +11,7 @@
 //! backoff jitter, repair) is deterministic by construction.
 
 use scale_bench::{emit, ms, run_points, Row};
+use scale_obs::Registry;
 use scale_sim::{
     device_stream, uniform_rates, ChaosConfig, ChaosReport, ChaosSim, FaultPlan, ProcedureMix,
 };
@@ -24,7 +25,7 @@ struct Params {
     seed: u64,
 }
 
-fn run_once(r: usize, p: &Params) -> ChaosReport {
+fn run_once(registry: &Registry, run_tag: &str, r: usize, p: &Params) -> ChaosReport {
     let cfg = ChaosConfig {
         n_vms: p.n_vms,
         replication: r,
@@ -36,8 +37,25 @@ fn run_once(r: usize, p: &Params) -> ChaosReport {
     // must come from ring repair among the survivors.
     let plan = FaultPlan::new().with_crash(p.horizon / 2.0, 1);
     let mut sim = ChaosSim::new(cfg, p.n_devices, plan);
+    // Per-request delays live in the shared registry; the report's
+    // phase p99s are computed from this same series at finish().
+    let series = registry.phased_series(
+        &format!("sim_chaos_r{r}_{run_tag}_delay_seconds"),
+        "Per-request delay around the mid-run crash",
+    );
+    sim.use_delay_series(series.clone());
     sim.run(&stream);
-    sim.finish(p.horizon)
+    let report = sim.finish(p.horizon);
+    // The registry-resident series and the report must agree bit-for-
+    // bit — the sweep reads its latency stats through the registry.
+    let (before, during, after) = series.p99_by_phase();
+    assert!(
+        before.to_bits() == report.p99_before.to_bits()
+            && during.to_bits() == report.p99_during.to_bits()
+            && after.to_bits() == report.p99_after.to_bits(),
+        "registry series diverged from report phase p99s"
+    );
+    report
 }
 
 fn same(a: &ChaosReport, b: &ChaosReport) -> bool {
@@ -96,9 +114,10 @@ fn main() {
     };
 
     let rs = [1usize, 2, 3];
+    let registry = Registry::new();
     let reports: Vec<ChaosReport> = run_points(rs.len(), |i| {
-        let first = run_once(rs[i], &p);
-        let second = run_once(rs[i], &p);
+        let first = run_once(&registry, "run1", rs[i], &p);
+        let second = run_once(&registry, "run2", rs[i], &p);
         assert!(
             same(&first, &second),
             "chaos run R={} is not deterministic across same-seed runs",

@@ -6,6 +6,7 @@
 //! sharp rise toward ~1 s as the rate approaches 1000 req/s.
 
 use scale_bench::{emit, ms, run_points, Row};
+use scale_obs::Registry;
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 fn main() {
@@ -15,6 +16,10 @@ fn main() {
         ("service-req", Procedure::ServiceRequest),
         ("handover", Procedure::Handover),
     ];
+    // All sweep threads record into one shared metrics registry; each
+    // point owns a named series and the reported p99 is read back from
+    // the registry, not from a private sample vector.
+    let registry = Registry::new();
     // Every sweep point seeds its own device stream, so the points are
     // independent and can run one-per-thread; collecting by index keeps
     // the emitted rows in sequential order.
@@ -25,12 +30,21 @@ fn main() {
         let rates = scale_sim::uniform_rates(n_devices, rate);
         let stream =
             scale_sim::device_stream(42, &rates, ProcedureMix::only(proc_), duration);
+        let series = registry.series(
+            &format!(
+                "sim_fig2a_{}_{}rps_delay_seconds",
+                label.replace('-', "_"),
+                rate as u32
+            ),
+            "Per-request delay of one fig2a sweep point",
+        );
         let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
-            .with_holders(placement::pinned(n_devices, 1));
+            .with_holders(placement::pinned(n_devices, 1))
+            .with_delay_series(series.clone());
         for r in &stream {
             dc.submit(*r);
         }
-        Row::new(label, rate, ms(dc.delays.p99()))
+        Row::new(label, rate, ms(series.p99()))
     });
     emit(
         "fig2a_static_assignment",

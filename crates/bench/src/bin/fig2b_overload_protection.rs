@@ -4,18 +4,25 @@
 //! worse than the load alone would.
 
 use scale_bench::{emit, ms, run_points, Row};
+use scale_obs::{Registry, Series};
 use scale_sim::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ProcedureMix, ReassignPolicy,
 };
+use std::sync::Arc;
 
-fn run(rate: f64, reassign: bool) -> scale_sim::Samples {
+fn run(registry: &Registry, rate: f64, reassign: bool) -> Arc<Series> {
     let n_devices = 300;
     let rates = scale_sim::uniform_rates(n_devices, rate);
     let stream =
         scale_sim::device_stream(7, &rates, ProcedureMix::only(Procedure::Attach), 6.0);
+    let series = registry.series(
+        &format!("sim_fig2b_attach_{}rps_delay_seconds", rate as u32),
+        "Attach delay of one fig2b load point",
+    );
     // All devices pinned to MME1; MME2 idle target for reassignment.
     let mut dc = DcSim::new(2, Assignment::Pinned, 1.0)
-        .with_holders(placement::pinned_by(&vec![0; n_devices]));
+        .with_holders(placement::pinned_by(&vec![0; n_devices]))
+        .with_delay_series(series.clone());
     if reassign {
         dc.reassign = Some(ReassignPolicy {
             threshold_s: 0.2,
@@ -26,17 +33,18 @@ fn run(rate: f64, reassign: bool) -> scale_sim::Samples {
     for r in &stream {
         dc.submit(*r);
     }
-    dc.delays
+    series
 }
 
 fn main() {
     // Light load (well under one MME's ~350 attach/s capacity) and
     // ~1.4× overload with reactive reassignment: independent seeded
-    // runs, one thread each.
+    // runs, one thread each, recording into one shared registry.
+    let registry = Registry::new();
     let configs = [(150.0, false), (460.0, true)];
-    let mut samples = run_points(configs.len(), |i| {
+    let samples = run_points(configs.len(), |i| {
         let (rate, reassign) = configs[i];
-        run(rate, reassign)
+        run(&registry, rate, reassign)
     });
     let mut rows = Vec::new();
     for (v, p) in samples[0].cdf(100) {
@@ -45,11 +53,10 @@ fn main() {
     for (v, p) in samples[1].cdf(100) {
         rows.push(Row::new("attach-overloaded-3gpp", ms(v), p));
     }
-    let [light, over] = &mut samples[..] else { unreachable!() };
     println!(
         "# p99 light = {:.1} ms, p99 overloaded+reassign = {:.1} ms",
-        ms(light.p99()),
-        ms(over.p99())
+        ms(samples[0].p99()),
+        ms(samples[1].p99())
     );
     emit(
         "fig2b_overload_protection",

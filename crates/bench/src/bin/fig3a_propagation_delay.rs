@@ -3,6 +3,7 @@
 //! This is why statically placing MMEs in remote DCs hurts (§3.1-4).
 
 use scale_bench::{emit, ms, run_points, Row};
+use scale_obs::Registry;
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 fn main() {
@@ -12,6 +13,8 @@ fn main() {
         ("handover", Procedure::Handover),
     ];
     let rtts = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0];
+    // One shared registry; each point's p99 is read from its series.
+    let registry = Registry::new();
     // 21 independent seeded points — one scoped thread each.
     let rows = run_points(procs.len() * rtts.len(), |i| {
         let (label, proc_) = procs[i / rtts.len()];
@@ -19,14 +22,23 @@ fn main() {
         let n_devices = 100;
         let rates = scale_sim::uniform_rates(n_devices, 100.0); // light load
         let stream = scale_sim::device_stream(3, &rates, ProcedureMix::only(proc_), 10.0);
+        let series = registry.series(
+            &format!(
+                "sim_fig3a_{}_rtt{}ms_delay_seconds",
+                label.replace('-', "_"),
+                rtt_ms as u32
+            ),
+            "Per-request delay of one fig3a RTT point",
+        );
         let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
-            .with_holders(placement::pinned(n_devices, 1));
+            .with_holders(placement::pinned(n_devices, 1))
+            .with_delay_series(series.clone());
         for r in &stream {
             // Each procedure round trip crosses the link once each way.
             let extra = proc_.round_trips() * rtt_ms / 1000.0;
             dc.submit_with_extra_latency(*r, extra);
         }
-        Row::new(label, rtt_ms, ms(dc.delays.p99()))
+        Row::new(label, rtt_ms, ms(series.p99()))
     });
     emit(
         "fig3a_propagation_delay",

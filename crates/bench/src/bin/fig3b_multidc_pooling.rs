@@ -4,10 +4,11 @@
 
 use scale_bench::{emit, ms, run_points, Row};
 use scale_core::geo::DelayMatrix;
+use scale_obs::{Registry, Series};
 use scale_sim::{
     placement, Assignment, DcSim, GeoDevice, GeoPlacement, GeoSim, Procedure, ProcedureMix,
-    Samples,
 };
+use std::sync::Arc;
 
 fn build_geo(static_remote_fraction: f64) -> (GeoSim, usize) {
     let n_devices = 400;
@@ -31,7 +32,7 @@ fn build_geo(static_remote_fraction: f64) -> (GeoSim, usize) {
     (sim, n_devices)
 }
 
-fn run(static_remote_fraction: f64) -> Samples {
+fn run(registry: &Registry, static_remote_fraction: f64) -> Arc<Series> {
     let (mut sim, n_devices) = build_geo(static_remote_fraction);
     let rates = scale_sim::uniform_rates(n_devices, 400.0); // average load
     let stream = scale_sim::device_stream(
@@ -40,17 +41,25 @@ fn run(static_remote_fraction: f64) -> Samples {
         ProcedureMix::only(Procedure::ServiceRequest),
         15.0,
     );
-    let mut delays = Samples::new();
+    let series = registry.series(
+        &format!(
+            "sim_fig3b_remote{}pct_delay_seconds",
+            (static_remote_fraction * 100.0) as u32
+        ),
+        "Per-request delay of one fig3b pool layout",
+    );
     for r in &stream {
-        delays.push(sim.submit(r.device, *r));
+        series.push(sim.submit(r.device, *r));
     }
-    delays
+    series
 }
 
 fn main() {
-    // The two pool layouts are independent seeded runs — one thread each.
+    // The two pool layouts are independent seeded runs — one thread
+    // each, recording into one shared registry.
+    let registry = Registry::new();
     let fractions = [0.0, 0.5];
-    let mut samples = run_points(fractions.len(), |i| run(fractions[i]));
+    let samples = run_points(fractions.len(), |i| run(&registry, fractions[i]));
     let mut rows = Vec::new();
     for (v, p) in samples[0].cdf(100) {
         rows.push(Row::new("single-dc", ms(v), p));
@@ -58,11 +67,10 @@ fn main() {
     for (v, p) in samples[1].cdf(100) {
         rows.push(Row::new("multi-dc-static-pool", ms(v), p));
     }
-    let [single, multi] = &mut samples[..] else { unreachable!() };
     println!(
         "# p99 single-DC = {:.1} ms, p99 static multi-DC pool = {:.1} ms",
-        ms(single.p99()),
-        ms(multi.p99())
+        ms(samples[0].p99()),
+        ms(samples[1].p99())
     );
     emit(
         "fig3b_multidc_pooling",

@@ -4,13 +4,21 @@
 //! the token-less ring needs far more replication to catch up.
 
 use scale_bench::{emit, ms, run_points, Row};
+use scale_obs::Registry;
 use scale_sim::{placement, Assignment, DcSim, Procedure, ProcedureMix};
 
 const N_VMS: usize = 30;
 const N_DEV: usize = 80_000;
 const DURATION: f64 = 4.0;
 
-fn run(tokens: u32, r: usize, hot_vms: &[usize], hot_factor: f64) -> f64 {
+fn run(
+    registry: &Registry,
+    label: &str,
+    tokens: u32,
+    r: usize,
+    hot_vms: &[usize],
+    hot_factor: f64,
+) -> f64 {
     let holders = placement::ring(N_DEV, N_VMS, tokens, r);
     // Base rate sized so the aggregate sits near 60 % of fleet capacity;
     // the hot VMs' devices push their masters past 100 %.
@@ -22,11 +30,21 @@ fn run(tokens: u32, r: usize, hot_vms: &[usize], hot_factor: f64) -> f64 {
         ProcedureMix::only(Procedure::ServiceRequest),
         DURATION,
     );
-    let mut dc = DcSim::new(N_VMS, Assignment::LeastLoaded, 1.0).with_holders(holders);
+    let series = registry.series(
+        &format!(
+            "sim_s1_{}_r{}_delay_seconds",
+            label.replace('-', "_"),
+            r
+        ),
+        "Per-request delay of one s1 skew/replication point",
+    );
+    let mut dc = DcSim::new(N_VMS, Assignment::LeastLoaded, 1.0)
+        .with_holders(holders)
+        .with_delay_series(series.clone());
     for req in &stream {
         dc.submit(*req);
     }
-    ms(dc.delays.p99())
+    ms(series.p99())
 }
 
 fn main() {
@@ -40,15 +58,18 @@ fn main() {
     ];
     // 20 points: 4 skew scenarios × R∈1..=4, plus the token-less ring
     // at the harshest skew. run() seeds its own stream per point, so
-    // the heavy 80k-device simulations fan out across threads.
+    // the heavy 80k-device simulations fan out across threads — all
+    // recording into one shared metrics registry.
+    let registry = Registry::new();
     let points = run_points(scenarios.len() * 4 + 4, |i| {
         if i < scenarios.len() * 4 {
             let (label, hot, factor) = scenarios[i / 4];
             let r = i % 4 + 1;
-            (label, r, run(5, r, hot, factor))
+            (label, r, run(&registry, label, 5, r, hot, factor))
         } else {
             let r = i - scenarios.len() * 4 + 1;
-            ("basic-const-hashing", r, run(1, r, &[0, 1, 2, 3, 4, 5, 6, 7], 4.5))
+            let label = "basic-const-hashing";
+            (label, r, run(&registry, label, 1, r, &[0, 1, 2, 3, 4, 5, 6, 7], 4.5))
         }
     });
     for (label, r, p99) in points {

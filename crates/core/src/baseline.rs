@@ -28,6 +28,7 @@ pub struct PoolMember {
 /// Counters specific to the legacy mechanisms.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PoolStats {
+    /// Control-plane messages processed by the pool.
     pub messages: u64,
     /// Devices forcibly reassigned during overload protection.
     pub reassignments: u64,
@@ -42,6 +43,7 @@ pub struct LegacyPool {
     weights: BTreeMap<u8, u8>,
     /// Weighted round-robin state for new-device selection.
     rr_credit: BTreeMap<u8, u32>,
+    /// Legacy-mechanism counters.
     pub stats: PoolStats,
 }
 
@@ -77,14 +79,17 @@ impl LegacyPool {
         self.rr_credit.insert(member.mme_code, 0);
     }
 
+    /// MME codes of the pool members.
     pub fn member_codes(&self) -> Vec<u8> {
         self.members.keys().copied().collect()
     }
 
+    /// Member MME by code.
     pub fn member(&self, code: u8) -> Option<&MmeCore> {
         self.members.get(&code)
     }
 
+    /// Mutable member MME by code.
     pub fn member_mut(&mut self, code: u8) -> Option<&mut MmeCore> {
         self.members.get_mut(&code)
     }

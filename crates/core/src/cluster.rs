@@ -11,17 +11,22 @@
 //!   hash state transfer (§4.4).
 
 use crate::mlb::{MlbRouter, VmId};
+use crate::obs::{DcObserver, ProcClass};
 use crate::provision::{provision, AllocationPolicy, LoadEstimator, Provisioning, VmCapacity};
 use scale_epc::ControlPlane;
 use scale_mme::{EcmState, Incoming, MmeConfig, MmeCore, MmeError, Outgoing};
 use scale_nas::{EmmMessage, Guti, MobileId, Plmn};
+use scale_obs::{Registry, Span};
 use scale_s1ap::S1apPdu;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Configuration of one SCALE DC.
 #[derive(Debug, Clone)]
 pub struct ScaleConfig {
+    /// Serving PLMN stamped into GUTIs.
     pub plmn: Plmn,
+    /// MME group id of the virtual MME.
     pub mme_group_id: u16,
     /// The MME code the MLB presents to eNodeBs.
     pub mme_code: u8,
@@ -66,13 +71,17 @@ impl Default for ScaleConfig {
 /// Cluster-level counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DcStats {
+    /// Control-plane events processed by the cluster.
     pub messages: u64,
     /// State copies pushed to replicas at Idle transitions.
     pub replications: u64,
+    /// Serialized bytes moved by replication, repair and transfers.
+    pub replication_bytes: u64,
     /// Requests that reached a VM without the state and were forwarded.
     pub forwards: u64,
     /// States moved during epoch rebalancing.
     pub transfers: u64,
+    /// Provisioning epochs run.
     pub epochs: u64,
     /// MMP VMs lost to injected crashes.
     pub crashes: u64,
@@ -92,19 +101,29 @@ pub struct RepairReport {
 /// Report from one epoch run.
 #[derive(Debug, Clone)]
 pub struct EpochReport {
+    /// The Eq-1 decision (V_C, V_S, target V).
     pub provisioning: Provisioning,
+    /// Fleet size entering the epoch.
     pub vms_before: usize,
+    /// Fleet size after scale-out/in.
     pub vms_after: usize,
+    /// Storage-provisioning β in force.
     pub beta: f64,
+    /// Registered devices at epoch time.
     pub registered_devices: u64,
+    /// Raw load observed over the last window.
     pub observed_load: f64,
+    /// States moved while rebalancing.
     pub states_transferred: u64,
+    /// Devices demoted to a single copy (access awareness).
     pub single_copy_devices: u64,
 }
 
 /// One SCALE data center.
 pub struct ScaleDc {
+    /// The configuration the DC was built with.
     pub config: ScaleConfig,
+    /// The MLB front-end.
     pub mlb: MlbRouter,
     mmps: BTreeMap<VmId, MmeCore>,
     /// Devices restricted to a single (master) copy this epoch.
@@ -113,10 +132,15 @@ pub struct ScaleDc {
     crashed: BTreeSet<VmId>,
     load_estimator: LoadEstimator,
     window_messages: u64,
+    /// Cluster-level counters.
     pub stats: DcStats,
+    /// Metric handles when observability is attached (see
+    /// [`Self::attach_observability`]); `None` costs nothing.
+    obs: Option<DcObserver>,
 }
 
 impl ScaleDc {
+    /// DC with `config.initial_vms` MMPs on the ring.
     pub fn new(config: ScaleConfig) -> Self {
         let mut dc = ScaleDc {
             mlb: MlbRouter::new(
@@ -132,6 +156,7 @@ impl ScaleDc {
             load_estimator: LoadEstimator::new(config.load_alpha, 0.0),
             window_messages: 0,
             stats: DcStats::default(),
+            obs: None,
             config,
         };
         for _ in 0..dc.config.initial_vms {
@@ -267,6 +292,12 @@ impl ScaleDc {
             }
         }
         report.copies_restored = self.stats.replications - before;
+        if let Some(obs) = &self.obs {
+            obs.repair_passes.inc();
+            obs.repair_vms.add(report.vms_repaired as u64);
+            obs.repair_ranges.add(report.under_replicated as u64);
+            obs.repair_copies.add(report.copies_restored);
+        }
         report
     }
 
@@ -339,6 +370,7 @@ impl ScaleDc {
                     if let Some(engine) = self.mmps.get_mut(&vm) {
                         let _ = engine.import_state(blob.clone());
                         self.stats.replications += 1;
+                        self.stats.replication_bytes += blob.len() as u64;
                         // Replication costs service capacity on both
                         // ends — repair traffic competes with the
                         // foreground load the MLB balances on.
@@ -527,7 +559,26 @@ impl ScaleDc {
     }
 
     /// Process one event end-to-end through the cluster.
+    ///
+    /// With observability attached, the event is classified into the
+    /// paper's procedure taxonomy and its end-to-end latency (including
+    /// any replica refresh it triggers) is recorded into the matching
+    /// `scale_mmp_*_latency_us` histogram. Without it, this compiles to
+    /// the bare routing path.
     pub fn handle(&mut self, ev: Incoming) -> Result<Vec<Outgoing>, MmeError> {
+        if self.obs.is_none() {
+            return self.handle_inner(ev);
+        }
+        let class = ProcClass::of(&ev);
+        let span = Span::begin();
+        let result = self.handle_inner(ev);
+        if let Some(obs) = &self.obs {
+            span.end(obs.latency_of(class));
+        }
+        result
+    }
+
+    fn handle_inner(&mut self, ev: Incoming) -> Result<Vec<Outgoing>, MmeError> {
         self.stats.messages += 1;
         self.window_messages += 1;
 
@@ -671,6 +722,7 @@ impl ScaleDc {
         let transferred = self.stats.replications - transfers_before;
         self.stats.transfers += transferred;
         self.mlb.close_load_window();
+        self.publish_metrics();
 
         EpochReport {
             provisioning: prov,
@@ -681,6 +733,96 @@ impl ScaleDc {
             observed_load: observed,
             states_transferred: transferred,
             single_copy_devices: self.single_copy.len() as u64,
+        }
+    }
+
+    /// Attach this DC to a shared metrics registry: registers every
+    /// cluster metric (see DESIGN.md §8) and starts recording per-
+    /// procedure latency on [`Self::handle`]. Counters are published
+    /// off-path — at epoch ends, repair passes, and explicit
+    /// [`Self::publish_metrics`] calls — so the routing hot path keeps
+    /// its plain-`u64` counters.
+    ///
+    /// ```
+    /// use scale_core::{ScaleConfig, ScaleDc};
+    /// use scale_obs::{prometheus_text, Registry};
+    /// use std::sync::Arc;
+    ///
+    /// let registry = Arc::new(Registry::new());
+    /// let mut dc = ScaleDc::new(ScaleConfig::default());
+    /// dc.attach_observability(registry.clone());
+    /// // ... drive traffic, then scrape:
+    /// dc.publish_metrics();
+    /// let text = prometheus_text(&registry);
+    /// assert!(text.contains("scale_dc_messages_total"));
+    /// assert!(text.contains("scale_mlb_idle_routes_total"));
+    /// ```
+    pub fn attach_observability(&mut self, registry: Arc<Registry>) {
+        self.obs = Some(DcObserver::new(registry));
+        self.publish_metrics();
+    }
+
+    /// The observer attached by [`Self::attach_observability`], if any.
+    pub fn observer(&self) -> Option<&DcObserver> {
+        self.obs.as_ref()
+    }
+
+    /// Copy the cluster's internal counters (`DcStats`, `MlbStats`,
+    /// `FailoverStats`, summed MMP engine stats, per-VM load gauges)
+    /// into the attached registry. No-op without observability.
+    pub fn publish_metrics(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.messages.set(self.stats.messages);
+        obs.replications.set(self.stats.replications);
+        obs.replication_bytes.set(self.stats.replication_bytes);
+        obs.forwards.set(self.stats.forwards);
+        obs.transfers.set(self.stats.transfers);
+        obs.epochs.set(self.stats.epochs);
+        obs.crashes.set(self.stats.crashes);
+
+        let mlb = &self.mlb.stats;
+        obs.new_attaches.set(mlb.new_attaches);
+        obs.idle_routes.set(mlb.idle_routes);
+        obs.active_routes.set(mlb.active_routes);
+        obs.lookups.set(mlb.lookups);
+        obs.route_cache_hits.set(mlb.route_cache_hits);
+        obs.route_cache_misses.set(mlb.route_cache_misses);
+        let (pos_hits, pos_misses) = self.mlb.position_cache_stats();
+        obs.position_hits.set(pos_hits);
+        obs.position_misses.set(pos_misses);
+        obs.epoch_bumps.set(self.mlb.epoch() - 1);
+
+        let fo = &self.mlb.failover_stats;
+        obs.failovers.set(fo.failovers);
+        obs.promotions.set(fo.promotions);
+        obs.retries.set(fo.retries);
+        obs.lost.set(fo.lost);
+        obs.shed.set(fo.shed);
+        obs.vms_marked_down.set(fo.vms_marked_down);
+
+        let mut attaches = 0u64;
+        let mut srs = 0u64;
+        let mut taus = 0u64;
+        let mut pagings = 0u64;
+        let mut detaches = 0u64;
+        let mut rejects = 0u64;
+        for engine in self.mmps.values() {
+            attaches += engine.stats.attaches_completed;
+            srs += engine.stats.service_requests;
+            taus += engine.stats.taus;
+            pagings += engine.stats.pagings;
+            detaches += engine.stats.detaches;
+            rejects += engine.stats.rejects;
+        }
+        obs.attaches_completed.set(attaches);
+        obs.service_requests.set(srs);
+        obs.taus.set(taus);
+        obs.pagings.set(pagings);
+        obs.detaches.set(detaches);
+        obs.rejects.set(rejects);
+
+        for &vm in self.mlb.mmps() {
+            obs.vm_load_gauge(vm).set(self.mlb.load_of(vm));
         }
     }
 
@@ -992,6 +1134,85 @@ mod tests {
         let vm = dc.vm_ids()[0];
         assert!(!dc.crash_mmp(vm));
         assert_eq!(dc.vm_count(), 1);
+    }
+
+    #[test]
+    fn observability_records_procedures_and_publishes_counters() {
+        use scale_obs::Snapshot;
+        let mut net = scale_net(3, 6);
+        let registry = std::sync::Arc::new(scale_obs::Registry::new());
+        net.cp.attach_observability(registry.clone());
+        for ue in 0..6 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        for ue in 0..6 {
+            assert!(net.service_request(ue));
+        }
+        net.cp.publish_metrics();
+
+        let obs = net.cp.observer().unwrap();
+        // Procedure latency histograms saw the right procedures.
+        assert!(obs.latency_of(ProcClass::Attach).count() >= 6);
+        assert!(obs.latency_of(ProcClass::ServiceRequest).count() >= 6);
+        assert!(obs.latency_of(ProcClass::S1Release).count() >= 6);
+        // Published counters mirror the internal stats.
+        let reg = registry;
+        assert_eq!(
+            reg.counter("scale_dc_messages_total", "").get(),
+            net.cp.stats.messages
+        );
+        assert_eq!(
+            reg.counter("scale_mlb_new_attaches_total", "").get(),
+            net.cp.mlb.stats.new_attaches
+        );
+        assert_eq!(
+            reg.counter("scale_dc_replications_total", "").get(),
+            net.cp.stats.replications
+        );
+        assert!(reg.counter("scale_dc_replication_bytes_total", "").get() > 0);
+        assert!(
+            reg.counter("scale_mlb_route_cache_hits_total", "").get() > 0,
+            "warm service requests must hit the route cache"
+        );
+        // The snapshot export sees every published metric.
+        let snap = Snapshot::of(&reg);
+        assert!(snap.counters.iter().any(|c| c.name == "scale_mmp_attaches_completed_total"
+            && c.value >= 6));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "scale_mmp_attach_latency_us" && h.count >= 6));
+        // Per-VM load gauges exist for every live VM.
+        for vm in net.cp.vm_ids() {
+            assert!(snap
+                .gauges
+                .iter()
+                .any(|g| g.name == format!("scale_mlb_vm{vm}_load")));
+        }
+    }
+
+    #[test]
+    fn repair_publishes_range_and_copy_counters() {
+        let mut net = scale_net(4, 10);
+        let registry = std::sync::Arc::new(scale_obs::Registry::new());
+        net.cp.attach_observability(registry.clone());
+        for ue in 0..10 {
+            assert!(net.attach(ue));
+            assert!(net.go_idle(ue));
+        }
+        let victim = *net.cp.vm_ids().first().unwrap();
+        assert!(net.cp.crash_mmp(victim));
+        let report = net.cp.repair();
+        assert_eq!(registry.counter("scale_dc_repair_passes_total", "").get(), 1);
+        assert_eq!(
+            registry.counter("scale_dc_repair_ranges_total", "").get(),
+            report.under_replicated as u64
+        );
+        assert_eq!(
+            registry.counter("scale_dc_repair_copies_total", "").get(),
+            report.copies_restored
+        );
     }
 
     #[test]

@@ -43,19 +43,35 @@ impl Default for HealthConfig {
 /// Per-VM health state tracked by the MLB.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VmHealth {
+    /// Heartbeats missed in a row.
     pub missed_heartbeats: u32,
+    /// Request errors seen in a row.
     pub consecutive_errors: u32,
+    /// Marked down — excluded from routing until repaired.
     pub down: bool,
 }
 
 /// Dense per-VM health table (indexed by `VmId`, like the load table).
+///
+/// ```
+/// use scale_core::failover::{HealthConfig, HealthTracker};
+///
+/// let mut health = HealthTracker::new(HealthConfig::default());
+/// assert!(!health.record_error(7)); // streak 1 of 2
+/// assert!(health.record_error(7)); // threshold crossed: newly down
+/// assert!(health.is_down(7));
+/// health.mark_up(7); // restarted + warmed
+/// assert!(!health.is_down(7));
+/// ```
 #[derive(Debug, Default)]
 pub struct HealthTracker {
+    /// Detection thresholds in force.
     pub config: HealthConfig,
     slots: Vec<VmHealth>,
 }
 
 impl HealthTracker {
+    /// Empty tracker with the given thresholds.
     pub fn new(config: HealthConfig) -> Self {
         HealthTracker {
             config,
@@ -219,6 +235,7 @@ pub struct TokenBucket {
 }
 
 impl TokenBucket {
+    /// Bucket refilling at `rate`/s, holding at most `burst`.
     pub fn new(rate: f64, burst: f64) -> Self {
         TokenBucket {
             rate,
@@ -259,8 +276,11 @@ pub enum Priority {
 /// requests must pass the token bucket to be admitted.
 #[derive(Debug, Clone, Copy)]
 pub struct ShedPolicy {
+    /// Fleet-wide EWMA utilization that arms shedding.
     pub util_threshold: f64,
+    /// Token-bucket refill rate (admitted low-priority req/s).
     pub bucket_rate: f64,
+    /// Token-bucket burst size.
     pub bucket_burst: f64,
 }
 
@@ -295,8 +315,11 @@ pub struct FailoverStats {
 /// Full failover configuration carried by the MLB / cluster.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FailoverConfig {
+    /// Failure-detection thresholds.
     pub health: HealthConfig,
+    /// Retry backoff policy.
     pub backoff: BackoffPolicy,
+    /// Overload-shedding policy.
     pub shed: ShedPolicy,
 }
 

@@ -12,6 +12,7 @@ pub type DcId = u16;
 /// One DC's view of its external-state budget.
 #[derive(Debug, Clone)]
 pub struct DcBudget {
+    /// The advertising DC.
     pub dc: DcId,
     /// S_m: maximum external device states this DC accepts.
     pub capacity: u64,
@@ -20,6 +21,7 @@ pub struct DcBudget {
 }
 
 impl DcBudget {
+    /// Budget of `capacity` states, all initially available.
     pub fn new(dc: DcId, capacity: u64) -> Self {
         DcBudget {
             dc,
@@ -38,6 +40,7 @@ impl DcBudget {
         }
     }
 
+    /// Return one reserved slot to the budget.
     pub fn release(&mut self) {
         self.available = (self.available + 1).min(self.capacity);
     }
@@ -67,6 +70,7 @@ pub struct DelayMatrix {
 }
 
 impl DelayMatrix {
+    /// Zero-delay matrix over `n` DCs.
     pub fn new(n: usize) -> Self {
         DelayMatrix {
             n,
@@ -74,6 +78,7 @@ impl DelayMatrix {
         }
     }
 
+    /// Set the symmetric propagation delay between `a` and `b`.
     pub fn set(&mut self, a: DcId, b: DcId, delay_ms: f64) {
         let (a, b) = (a as usize, b as usize);
         assert!(a < self.n && b < self.n);
@@ -81,14 +86,17 @@ impl DelayMatrix {
         self.ms[b * self.n + a] = delay_ms;
     }
 
+    /// Propagation delay between `a` and `b` (ms).
     pub fn get(&self, a: DcId, b: DcId) -> f64 {
         self.ms[a as usize * self.n + b as usize]
     }
 
+    /// Number of DCs covered.
     pub fn len(&self) -> usize {
         self.n
     }
 
+    /// True when the matrix covers no DCs.
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -103,6 +111,7 @@ pub struct GeoSelector {
 }
 
 impl GeoSelector {
+    /// Selector with a deterministic seeded RNG.
     pub fn new(seed: u64) -> Self {
         GeoSelector {
             rng: StdRng::seed_from_u64(seed),

@@ -8,7 +8,9 @@
 //!   Idle-edge state replication, epoch provisioning and rebalancing;
 //! * [`failover`] — failure detection, bounded retry with backoff, and
 //!   overload-shedding policy (§4.6 "Failure resilience");
-//! * [`provision`] — Eq 1–3: VM provisioning, β, access-aware allocation;
+//! * [`obs`] — the observability bridge: registers the cluster's
+//!   counters/latency histograms in a shared [`scale_obs::Registry`];
+//! * [`provision`](mod@provision) — Eq 1–3: VM provisioning, β, access-aware allocation;
 //! * [`geo`] — geo-multiplexing budgets and the delay-weighted remote-DC
 //!   selector (§4.5.2);
 //! * [`baseline`] — the legacy 3GPP pool comparator (§3.1).
@@ -18,11 +20,14 @@
 //! byte-identical signaling — the methodological core of every
 //! comparison experiment.
 
+#![warn(missing_docs)]
+
 pub mod baseline;
 pub mod cluster;
 pub mod failover;
 pub mod geo;
 pub mod mlb;
+pub mod obs;
 pub mod provision;
 
 pub use baseline::{LegacyPool, PoolMember, PoolStats};
@@ -33,6 +38,7 @@ pub use failover::{
 };
 pub use geo::{DcBudget, DcId, DelayMatrix, GeoSelector};
 pub use mlb::{MlbRouter, MlbStats, VmId, VmLoad};
+pub use obs::{DcObserver, ProcClass};
 pub use provision::{
     beta, provision, replica_probability, Allocation, AllocationPolicy, LoadEstimator,
     Provisioning, VmCapacity,

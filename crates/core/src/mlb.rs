@@ -35,7 +35,9 @@ const MAX_CACHED_R: usize = 8;
 /// window (the "moving average of CPU utilization" of §4.6).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VmLoad {
+    /// Smoothed load (EWMA of per-window message counts).
     pub ewma: f64,
+    /// Messages handled in the current window.
     pub window_count: u64,
 }
 
@@ -74,6 +76,7 @@ pub struct MlbRouter {
     positions: PositionCache,
     /// EWMA smoothing for load updates.
     pub load_alpha: f64,
+    /// Routing counters (published to the registry off-path).
     pub stats: MlbStats,
     /// Per-VM liveness (missed heartbeats / consecutive errors, §4.6).
     pub health: HealthTracker,
@@ -85,16 +88,30 @@ pub struct MlbRouter {
     shed_bucket: TokenBucket,
 }
 
-/// Routing counters.
+/// Routing counters. Plain `u64`s, not atomics: the routing hot path
+/// is single-threaded and sub-10 ns, so these are bumped for free and
+/// published into the shared `scale_obs::Registry` off-path (see
+/// `ScaleDc::publish_metrics`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MlbStats {
+    /// Attach requests routed for unregistered devices.
     pub new_attaches: u64,
+    /// Idle→Active transitions routed by ring lookup.
     pub idle_routes: u64,
+    /// Active-mode messages routed by embedded VM id.
     pub active_routes: u64,
+    /// Holder-set lookups performed.
     pub lookups: u64,
+    /// Holder lookups served from the per-epoch route cache.
+    pub route_cache_hits: u64,
+    /// Holder lookups that had to walk the ring.
+    pub route_cache_misses: u64,
 }
 
 impl MlbRouter {
+    /// MLB with `tokens` points per MMP, `replication` holders per
+    /// device, and the GUTI identity (`plmn`/`mme_group_id`/`mme_code`)
+    /// it stamps into allocated GUTIs.
     pub fn new(tokens: u32, replication: usize, plmn: Plmn, mme_group_id: u16, mme_code: u8) -> Self {
         let failover = FailoverConfig::default();
         MlbRouter {
@@ -243,14 +260,17 @@ impl MlbRouter {
         }
     }
 
+    /// Live MMP VMs on the ring.
     pub fn mmps(&self) -> &[VmId] {
         self.ring.nodes()
     }
 
+    /// The consistent-hash ring (read-only).
     pub fn ring(&self) -> &HashRing<VmId> {
         &self.ring
     }
 
+    /// Configured replication degree R.
     pub fn replication(&self) -> usize {
         self.replication
     }
@@ -282,9 +302,11 @@ impl MlbRouter {
         if cacheable {
             let slot = self.route_cache[slot_idx];
             if slot.epoch == self.epoch && slot.m_tmsi == m_tmsi {
+                self.stats.route_cache_hits += 1;
                 return (slot.holders, slot.n as usize);
             }
         }
+        self.stats.route_cache_misses += 1;
         let pos = self.position(m_tmsi);
         let mut holders = [0 as VmId; MAX_CACHED_R];
         let mut n = 0usize;
@@ -342,6 +364,20 @@ impl MlbRouter {
     /// marked down are skipped — that skip is the replica failover of
     /// §4.6, counted in [`FailoverStats::failovers`]. All holders down
     /// → `None` (the request will be retried or counted lost upstream).
+    ///
+    /// ```
+    /// use scale_core::mlb::MlbRouter;
+    /// use scale_nas::Plmn;
+    ///
+    /// let mut mlb = MlbRouter::new(5, 2, Plmn::new("001", "01"), 1, 1);
+    /// for vm in 0..4 {
+    ///     mlb.add_mmp(vm);
+    /// }
+    /// let vm = mlb.route_idle_transition(0xC0FFEE).unwrap();
+    /// assert!(mlb.mmps().contains(&vm));
+    /// // Same device, same holders — deterministic while loads hold.
+    /// assert_eq!(mlb.route_idle_transition(0xC0FFEE), Some(vm));
+    /// ```
     pub fn route_idle_transition(&mut self, m_tmsi: u32) -> Option<VmId> {
         self.stats.idle_routes += 1;
         self.stats.lookups += 1;
@@ -400,6 +436,18 @@ impl MlbRouter {
     /// Directly set a VM's load (used when MMPs push their CPU figures).
     pub fn set_load(&mut self, vm: VmId, load: f64) {
         self.load_slot(vm).ewma = load;
+    }
+
+    /// Current routing epoch. Starts at 1 and bumps on every ring or
+    /// liveness change, so `epoch() - 1` is the number of bumps — the
+    /// `scale_mlb_epoch_bumps_total` metric.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Position-memo `(hits, misses)` counters, for instrumentation.
+    pub fn position_cache_stats(&self) -> (u64, u64) {
+        (self.positions.hits, self.positions.misses)
     }
 
     /// Position-memo hit fraction, for instrumentation.
@@ -537,6 +585,21 @@ mod tests {
             "post-churn lookups must hit the position memo, rate {}",
             r.position_cache_hit_rate()
         );
+    }
+
+    #[test]
+    fn route_cache_hit_miss_counters() {
+        let mut r = router(&[1, 2, 3]);
+        r.route_idle_transition(7); // cold: miss
+        assert_eq!(r.stats.route_cache_misses, 1);
+        assert_eq!(r.stats.route_cache_hits, 0);
+        r.route_idle_transition(7); // warm: hit
+        assert_eq!(r.stats.route_cache_hits, 1);
+        let epoch_before = r.epoch();
+        r.add_mmp(4); // epoch bump invalidates the slot
+        assert_eq!(r.epoch(), epoch_before + 1);
+        r.route_idle_transition(7);
+        assert_eq!(r.stats.route_cache_misses, 2);
     }
 
     #[test]

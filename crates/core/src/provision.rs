@@ -19,11 +19,13 @@ pub struct VmCapacity {
 /// EWMA load estimator: L̄(t) ← α·L(t−1) + (1−α)·L̄(t−1) (Eq 1).
 #[derive(Debug, Clone, Copy)]
 pub struct LoadEstimator {
+    /// EWMA smoothing factor α ∈ [0, 1].
     pub alpha: f64,
     estimate: f64,
 }
 
 impl LoadEstimator {
+    /// Estimator with smoothing `alpha` starting at `initial`.
     pub fn new(alpha: f64, initial: f64) -> Self {
         assert!((0.0..=1.0).contains(&alpha));
         LoadEstimator {
@@ -38,6 +40,7 @@ impl LoadEstimator {
         self.estimate
     }
 
+    /// Current estimate L̄ without folding in a new observation.
     pub fn current(&self) -> f64 {
         self.estimate
     }

@@ -325,7 +325,9 @@ pub struct PositionCache {
     slots: Vec<(u64, u64)>,
     occupied: Vec<bool>,
     mask: usize,
+    /// Lookups answered from the cache.
     pub hits: u64,
+    /// Lookups that fell through to the MD5 hash.
     pub misses: u64,
 }
 
@@ -440,6 +442,7 @@ pub mod reference {
     }
 
     impl<N: Clone + Eq + Ord + RingKey> BTreeRing<N> {
+        /// Empty ring with `tokens` points per node.
         pub fn new(tokens: u32) -> Self {
             assert!(tokens >= 1, "at least one token per node");
             BTreeRing {
@@ -449,10 +452,12 @@ pub mod reference {
             }
         }
 
+        /// Member nodes in insertion order.
         pub fn nodes(&self) -> &[N] {
             &self.nodes
         }
 
+        /// Add `node`, placing its token points (no-op if present).
         // The check-then-insert shape is the seed code this module
         // preserves verbatim; the entry API would restructure it.
         #[allow(clippy::map_entry)]
@@ -475,6 +480,7 @@ pub mod reference {
             self.nodes.push(node);
         }
 
+        /// Remove `node` and its token points; false if absent.
         pub fn remove_node(&mut self, node: &N) -> bool {
             let Some(idx) = self.nodes.iter().position(|n| n == node) else {
                 return false;
@@ -484,6 +490,7 @@ pub mod reference {
             true
         }
 
+        /// Owner of ring position `pos` (first token clockwise).
         pub fn node_at(&self, pos: u64) -> Option<&N> {
             self.points
                 .range(pos..)
@@ -492,14 +499,17 @@ pub mod reference {
                 .map(|(_, n)| n)
         }
 
+        /// Master node for `key`.
         pub fn primary<K: RingKey + ?Sized>(&self, key: &K) -> Option<&N> {
             self.node_at(legacy_position(&legacy_bytes(key)))
         }
 
+        /// Up to `r` distinct holders for `key`, master first.
         pub fn replicas<K: RingKey + ?Sized>(&self, key: &K, r: usize) -> Vec<&N> {
             self.replicas_at(legacy_position(&legacy_bytes(key)), r)
         }
 
+        /// Up to `r` distinct holders walking clockwise from `pos`.
         pub fn replicas_at(&self, pos: u64, r: usize) -> Vec<&N> {
             let mut out: Vec<&N> = Vec::with_capacity(r);
             if self.points.is_empty() || r == 0 {
@@ -516,6 +526,7 @@ pub mod reference {
             out
         }
 
+        /// All `(position, node)` token points in ring order.
         pub fn points(&self) -> impl Iterator<Item = (u64, &N)> {
             self.points.iter().map(|(p, n)| (*p, n))
         }

@@ -1,0 +1,425 @@
+//! Exporters: Prometheus text exposition and a JSON snapshot that
+//! round-trips through the vendored serde_json.
+
+use crate::registry::{Entry, Metric, Registry};
+use crate::series::Phase;
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Render every metric in `reg` in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` headers followed by
+/// sample lines. Histograms emit cumulative `_bucket{le="..."}` lines
+/// for non-empty buckets (bounds in microseconds) plus `+Inf`, `_sum`
+/// and `_count`; series and phased series are rendered as summaries
+/// with `quantile` (and `phase`) labels.
+pub fn prometheus_text(reg: &Registry) -> String {
+    let mut out = String::new();
+    for e in reg.entries() {
+        render_entry(&mut out, &e);
+    }
+    out
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    let name = &e.name;
+    let _ = writeln!(out, "# HELP {name} {}", e.help);
+    match &e.metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        Metric::Histogram(h) => {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            h.for_each_bucket(|upper, n| {
+                cum += n;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cum}");
+            });
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{name}_sum {}", h.sum_us());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        Metric::Series(s) => {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            if !s.is_empty() {
+                for q in [0.5, 0.95, 0.99] {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", s.quantile(q));
+                }
+                let _ = writeln!(out, "{name}_sum {}", s.mean() * s.len() as f64);
+            } else {
+                let _ = writeln!(out, "{name}_sum 0");
+            }
+            let _ = writeln!(out, "{name}_count {}", s.len());
+        }
+        Metric::PhasedSeries(s) => {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (label, phase) in [
+                ("before", Phase::Before),
+                ("during", Phase::During),
+                ("after", Phase::After),
+            ] {
+                if s.phase_len(phase) > 0 {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{phase=\"{label}\",quantile=\"0.99\"}} {}",
+                        s.phase_quantile(phase, 0.99)
+                    );
+                }
+            }
+            let _ = writeln!(out, "{name}_count {}", s.len());
+        }
+    }
+}
+
+/// Counter state in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterSnap {
+    /// Metric name.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// Gauge state in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GaugeSnap {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value at snapshot time (non-finite values snapshot as 0).
+    pub value: f64,
+}
+
+/// Histogram summary in a [`Snapshot`]. Quantiles are resolved bucket
+/// upper bounds in microseconds; an empty histogram reports 0 for all
+/// of them.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnap {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded values (µs).
+    pub sum_us: u64,
+    /// Largest recorded value (µs).
+    pub max_us: u64,
+    /// Median (µs).
+    pub p50_us: f64,
+    /// 95th percentile (µs).
+    pub p95_us: f64,
+    /// 99th percentile (µs).
+    pub p99_us: f64,
+}
+
+/// Series summary in a [`Snapshot`] (values in seconds; 0 when empty).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeriesSnap {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Phased-series summary in a [`Snapshot`]: the per-phase p99 triple
+/// (seconds; 0 for phases with no samples).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhasedSnap {
+    /// Metric name.
+    pub name: String,
+    /// Total samples across phases.
+    pub count: u64,
+    /// p99 before the first fault.
+    pub p99_before: f64,
+    /// p99 between fault and recovery.
+    pub p99_during: f64,
+    /// p99 after recovery.
+    pub p99_after: f64,
+}
+
+/// A point-in-time, serializable copy of every metric in a registry.
+///
+/// `Snapshot` is the JSON export surface: [`Snapshot::of`] captures a
+/// registry, [`Snapshot::to_json`] renders it, and
+/// [`Snapshot::from_json`] parses it back — the round trip is exact
+/// because all floats are finite (non-finite values are snapshotted as
+/// 0) and Rust's shortest-round-trip float formatting is used.
+///
+/// ```
+/// let reg = scale_obs::Registry::new();
+/// reg.counter("scale_demo_total", "demo").add(3);
+/// let snap = scale_obs::Snapshot::of(&reg);
+/// let back = scale_obs::Snapshot::from_json(&snap.to_json()).unwrap();
+/// assert_eq!(snap, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct Snapshot {
+    /// All counters, in registration order.
+    pub counters: Vec<CounterSnap>,
+    /// All gauges, in registration order.
+    pub gauges: Vec<GaugeSnap>,
+    /// All histograms, in registration order.
+    pub histograms: Vec<HistogramSnap>,
+    /// All exact-sample series, in registration order.
+    pub series: Vec<SeriesSnap>,
+    /// All phased series, in registration order.
+    pub phased: Vec<PhasedSnap>,
+}
+
+/// Map non-finite (and thus non-JSON-round-trippable) values to 0.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+impl Snapshot {
+    /// Capture the current state of every metric in `reg`.
+    pub fn of(reg: &Registry) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for e in reg.entries() {
+            match &e.metric {
+                Metric::Counter(c) => snap.counters.push(CounterSnap {
+                    name: e.name.clone(),
+                    value: c.get(),
+                }),
+                Metric::Gauge(g) => snap.gauges.push(GaugeSnap {
+                    name: e.name.clone(),
+                    value: finite(g.get()),
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramSnap {
+                    name: e.name.clone(),
+                    count: h.count(),
+                    sum_us: h.sum_us(),
+                    max_us: h.max_us(),
+                    p50_us: finite(h.p50()),
+                    p95_us: finite(h.p95()),
+                    p99_us: finite(h.p99()),
+                }),
+                Metric::Series(s) => snap.series.push(SeriesSnap {
+                    name: e.name.clone(),
+                    count: s.len() as u64,
+                    mean: finite(s.mean()),
+                    p50: finite(s.p50()),
+                    p95: finite(s.p95()),
+                    p99: finite(s.p99()),
+                    max: finite(s.max()),
+                }),
+                Metric::PhasedSeries(s) => {
+                    let (b, d, a) = s.p99_by_phase();
+                    snap.phased.push(PhasedSnap {
+                        name: e.name.clone(),
+                        count: s.len() as u64,
+                        p99_before: finite(b),
+                        p99_during: finite(d),
+                        p99_after: finite(a),
+                    })
+                }
+            }
+        }
+        snap
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse a snapshot back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let obj = as_object(&v)?;
+        let mut snap = Snapshot::default();
+        for row in rows(obj, "counters")? {
+            snap.counters.push(CounterSnap {
+                name: get_str(row, "name")?,
+                value: get_u64(row, "value")?,
+            });
+        }
+        for row in rows(obj, "gauges")? {
+            snap.gauges.push(GaugeSnap {
+                name: get_str(row, "name")?,
+                value: get_f64(row, "value")?,
+            });
+        }
+        for row in rows(obj, "histograms")? {
+            snap.histograms.push(HistogramSnap {
+                name: get_str(row, "name")?,
+                count: get_u64(row, "count")?,
+                sum_us: get_u64(row, "sum_us")?,
+                max_us: get_u64(row, "max_us")?,
+                p50_us: get_f64(row, "p50_us")?,
+                p95_us: get_f64(row, "p95_us")?,
+                p99_us: get_f64(row, "p99_us")?,
+            });
+        }
+        for row in rows(obj, "series")? {
+            snap.series.push(SeriesSnap {
+                name: get_str(row, "name")?,
+                count: get_u64(row, "count")?,
+                mean: get_f64(row, "mean")?,
+                p50: get_f64(row, "p50")?,
+                p95: get_f64(row, "p95")?,
+                p99: get_f64(row, "p99")?,
+                max: get_f64(row, "max")?,
+            });
+        }
+        for row in rows(obj, "phased")? {
+            snap.phased.push(PhasedSnap {
+                name: get_str(row, "name")?,
+                count: get_u64(row, "count")?,
+                p99_before: get_f64(row, "p99_before")?,
+                p99_during: get_f64(row, "p99_during")?,
+                p99_after: get_f64(row, "p99_after")?,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+type Obj = [(String, Value)];
+
+fn as_object(v: &Value) -> Result<&Obj, String> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        _ => Err("expected object".into()),
+    }
+}
+
+fn field<'a>(obj: &'a Obj, key: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn rows<'a>(obj: &'a Obj, key: &str) -> Result<Vec<&'a Obj>, String> {
+    match field(obj, key)? {
+        Value::Array(items) => items.iter().map(as_object).collect(),
+        _ => Err(format!("field '{key}' is not an array")),
+    }
+}
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+    match field(obj, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("field '{key}' is not a string")),
+    }
+}
+
+fn get_u64(obj: &Obj, key: &str) -> Result<u64, String> {
+    match field(obj, key)? {
+        Value::U64(n) => Ok(*n),
+        _ => Err(format!("field '{key}' is not a u64")),
+    }
+}
+
+fn get_f64(obj: &Obj, key: &str) -> Result<f64, String> {
+    match field(obj, key)? {
+        Value::F64(x) => Ok(*x),
+        Value::U64(n) => Ok(*n as f64),
+        Value::I64(n) => Ok(*n as f64),
+        _ => Err(format!("field '{key}' is not a number")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("scale_mlb_routes_total", "routes").add(1234);
+        reg.gauge("scale_mlb_vm0_load", "vm0 window load").set(0.37);
+        let h = reg.histogram("scale_mmp_attach_latency_us", "attach latency");
+        for us in [12u64, 40, 250, 9000] {
+            h.record_us(us);
+        }
+        let s = reg.series("scale_sim_delay_seconds", "sim delays");
+        for i in 1..=50 {
+            s.push(i as f64 * 0.001);
+        }
+        let p = reg.phased_series("scale_chaos_delay_seconds", "chaos delays");
+        p.push(1.0, 0.002);
+        p.push(5.0, 0.700);
+        p.push(9.0, 0.003);
+        p.set_boundaries(4.0, 8.0);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = populated_registry();
+        let text = prometheus_text(&reg);
+        assert!(text.contains("# TYPE scale_mlb_routes_total counter"));
+        assert!(text.contains("scale_mlb_routes_total 1234"));
+        assert!(text.contains("# TYPE scale_mlb_vm0_load gauge"));
+        assert!(text.contains("scale_mlb_vm0_load 0.37"));
+        assert!(text.contains("# TYPE scale_mmp_attach_latency_us histogram"));
+        assert!(text.contains("scale_mmp_attach_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("scale_mmp_attach_latency_us_count 4"));
+        assert!(text.contains("scale_sim_delay_seconds{quantile=\"0.99\"}"));
+        assert!(text.contains("scale_sim_delay_seconds_count 50"));
+        assert!(text.contains("scale_chaos_delay_seconds{phase=\"during\",quantile=\"0.99\"} 0.7"));
+        // Cumulative bucket counts are monotone and end at the total.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last);
+            last = n;
+        }
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let reg = populated_registry();
+        let snap = Snapshot::of(&reg);
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("parse back");
+        assert_eq!(snap, back);
+        // And the round trip survives a second encode.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn empty_registry_round_trips() {
+        let reg = Registry::new();
+        let snap = Snapshot::of(&reg);
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_as_zero() {
+        let reg = Registry::new();
+        reg.histogram("scale_empty_us", "empty");
+        reg.series("scale_empty_seconds", "empty");
+        let snap = Snapshot::of(&reg);
+        assert_eq!(snap.histograms[0].p99_us, 0.0);
+        assert_eq!(snap.series[0].max, 0.0);
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shape() {
+        assert!(Snapshot::from_json("[]").is_err());
+        assert!(Snapshot::from_json("{\"counters\": [{}]}").is_err());
+        assert!(Snapshot::from_json("not json").is_err());
+    }
+}

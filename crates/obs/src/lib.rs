@@ -1,0 +1,55 @@
+//! # scale-obs — observability for the SCALE control-plane
+//!
+//! The paper's whole evaluation (Fig 2/3, §5) is about visibility into
+//! control-plane latency: per-procedure delay distributions, per-MMP
+//! load skew, failover timelines. This crate is the shared metrics
+//! layer those measurements hang off of:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars. Hot paths that
+//!   cannot afford even an atomic (the sub-10 ns routing path) keep
+//!   plain `u64`s and publish them off-path with [`Counter::set`].
+//! * [`Histogram`] — HDR-style log-bucketed latency histogram over
+//!   microseconds: 16 linear sub-buckets per power-of-two octave,
+//!   quantile error ≤ 6.25 %, lock- and allocation-free recording.
+//! * [`Span`] — a 16-byte stack timer that records its elapsed wall
+//!   time into a histogram.
+//! * [`Series`] / [`PhasedSeries`] — exact-sample series matching the
+//!   simulator's nearest-rank quantile semantics bit-for-bit, so sweep
+//!   binaries read identical statistics through the registry.
+//! * [`Registry`] — a thread-safe, idempotent name→metric directory
+//!   shared by every component (and every sweep thread).
+//! * [`prometheus_text`] / [`Snapshot`] — the two export surfaces:
+//!   Prometheus text exposition and a JSON snapshot that round-trips.
+//!
+//! The metric naming scheme, bucket layout and overhead budget are
+//! documented in the repository's DESIGN.md §8.
+//!
+//! ```
+//! use scale_obs::{Registry, Snapshot};
+//!
+//! let reg = Registry::new();
+//! let attaches = reg.counter("scale_mme_attaches_total", "completed attaches");
+//! let latency = reg.histogram("scale_mme_attach_latency_us", "attach latency");
+//!
+//! attaches.inc();
+//! latency.record_us(250);
+//!
+//! let text = scale_obs::prometheus_text(&reg);
+//! assert!(text.contains("scale_mme_attaches_total 1"));
+//! let snap = Snapshot::of(&reg);
+//! assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+//! ```
+
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod registry;
+mod series;
+
+pub use export::{
+    prometheus_text, CounterSnap, GaugeSnap, HistogramSnap, PhasedSnap, SeriesSnap, Snapshot,
+};
+pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
+pub use registry::{Entry, Metric, Registry};
+pub use series::{Phase, PhasedSeries, Series};

@@ -1,0 +1,425 @@
+//! Core metric primitives: atomic counters, gauges, HDR-style
+//! log-bucketed histograms, and span timers.
+//!
+//! Everything here is lock-free and allocation-free once constructed,
+//! so sweep threads can share one instance through an `Arc` and record
+//! into it concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+///
+/// `inc`/`add` are relaxed atomic operations — cheap enough for warm
+/// paths, though the true hot paths in this repo (sub-10 ns routing)
+/// keep plain `u64` counters and publish them here off-path with
+/// [`Counter::set`].
+///
+/// ```
+/// let c = scale_obs::Counter::new();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value — the off-path publication primitive.
+    ///
+    /// Components that keep plain (non-atomic) counters on their hot
+    /// path copy them into the shared registry with `set` at snapshot
+    /// points (window close, epoch end). Callers are responsible for
+    /// only publishing monotonically non-decreasing values.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time measurement that can go up or down (queue depth,
+/// per-VM load window, utilization fraction).
+///
+/// Stores an `f64` as its bit pattern in an `AtomicU64`.
+///
+/// ```
+/// let g = scale_obs::Gauge::new();
+/// g.set(0.75);
+/// assert_eq!(g.get(), 0.75);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at 0.0.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0.0f64.to_bits()))
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of sub-buckets per power-of-two octave. 16 sub-buckets bound
+/// the relative quantile error at 1/16 = 6.25 %.
+const SUBS: u64 = 16;
+/// log2(SUBS).
+const SUB_BITS: u32 = 4;
+/// Total bucket count: values 0..16 get exact unit buckets, then each
+/// octave `[2^k, 2^(k+1))` for k in 4..=63 contributes 16 buckets.
+pub const HISTOGRAM_BUCKETS: usize = (SUBS as usize) + 60 * (SUBS as usize);
+
+/// An HDR-style log-linear latency histogram over **microsecond**
+/// values, with atomic buckets so threads share one instance.
+///
+/// Values 0–15 µs land in exact unit buckets; above that, each
+/// power-of-two octave is split into 16 linear sub-buckets, so any
+/// reported quantile is within 6.25 % of the true sample. Recording is
+/// two relaxed atomic adds plus a `fetch_max` — no allocation, no lock.
+///
+/// ```
+/// let h = scale_obs::Histogram::new();
+/// for us in [10, 20, 30, 1000] { h.record_us(us); }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.quantile(0.5), 20.0); // exact: 20 µs < one-octave error floor
+/// assert!(h.max_us() == 1000);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of raw recorded values (µs).
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. The bucket array (~7.8 KB) is the only
+    /// allocation it will ever make.
+    pub fn new() -> Self {
+        let buckets = (0..HISTOGRAM_BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value in microseconds.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUBS {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = (v >> (msb - SUB_BITS)) & (SUBS - 1);
+        ((msb - SUB_BITS + 1) as u64 * SUBS + sub) as usize
+    }
+
+    /// Inclusive upper bound (µs) of bucket `idx` — the value quantiles
+    /// report for samples that fell in it.
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUBS {
+            return idx;
+        }
+        let msb = idx / SUBS + SUB_BITS as u64 - 1;
+        let sub = idx % SUBS;
+        let width = 1u64 << (msb - SUB_BITS as u64);
+        (SUBS + sub) * width + (width - 1)
+    }
+
+    /// Record one latency sample, in microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a sample given in seconds (e.g. simulator virtual time),
+    /// rounded to the nearest microsecond.
+    #[inline]
+    pub fn record_secs(&self, secs: f64) {
+        self.record_us((secs * 1e6).round().max(0.0) as u64);
+    }
+
+    /// Record a wall-clock duration.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value, in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value in microseconds; NaN when empty.
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.sum_us() as f64 / n as f64
+    }
+
+    /// Nearest-rank q-quantile (q in `[0, 1]`) in microseconds, resolved
+    /// to the containing bucket's upper bound; NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                // The top bucket's bound can overshoot the true max;
+                // the exact max is tracked separately.
+                return (Self::bucket_upper_bound(idx)).min(self.max_us()) as f64;
+            }
+        }
+        self.max_us() as f64
+    }
+
+    /// Median (µs).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (µs).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (µs) — the paper's headline tail metric.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Visit every non-empty bucket as `(upper_bound_us, count)` in
+    /// ascending bound order — the exporter's iteration primitive.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(u64, u64)) {
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                f(Self::bucket_upper_bound(idx), n);
+            }
+        }
+    }
+}
+
+/// A lightweight span timer: captures an [`Instant`] at construction
+/// and records the elapsed wall-clock time into a [`Histogram`] when
+/// finished. No allocation, no registration — a span is just 16 bytes
+/// on the stack.
+///
+/// ```
+/// let h = scale_obs::Histogram::new();
+/// let span = scale_obs::Span::begin();
+/// // ... the procedure being timed ...
+/// span.end(&h);
+/// assert_eq!(h.count(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing now.
+    #[inline]
+    pub fn begin() -> Self {
+        Span {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the span began.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stop timing and record the elapsed duration into `hist`.
+    #[inline]
+    pub fn end(self, hist: &Histogram) -> Duration {
+        let d = self.start.elapsed();
+        hist.record_duration(d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.set(4);
+        assert_eq!(c.get(), 4);
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        // Every value maps to a bucket whose bound range contains it.
+        for v in (0..4096u64)
+            .chain([1 << 20, (1 << 20) + 12345, u64::MAX / 2, u64::MAX])
+        {
+            let idx = Histogram::bucket_index(v);
+            let upper = Histogram::bucket_upper_bound(idx);
+            assert!(upper >= v, "v={v} idx={idx} upper={upper}");
+            if idx > 0 {
+                let prev_upper = Histogram::bucket_upper_bound(idx - 1);
+                assert!(prev_upper < v, "v={v} idx={idx} prev_upper={prev_upper}");
+            }
+            assert!(idx < HISTOGRAM_BUCKETS);
+        }
+        // Bounds are strictly increasing.
+        for idx in 1..HISTOGRAM_BUCKETS {
+            assert!(Histogram::bucket_upper_bound(idx) > Histogram::bucket_upper_bound(idx - 1));
+        }
+    }
+
+    #[test]
+    fn relative_error_within_one_sixteenth() {
+        for v in [17u64, 100, 999, 12_345, 7_654_321, 987_654_321] {
+            let upper = Histogram::bucket_upper_bound(Histogram::bucket_index(v));
+            let err = (upper - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 16.0, "v={v} upper={upper} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_us(), 1000);
+        // Nearest-rank p50 of 1..=1000 is 500; bucketed answer is the
+        // bound of 500's bucket — within 6.25 %.
+        let p50 = h.p50();
+        assert!((500.0..=532.0).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((990.0..=1055.0).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert!((h.mean_us() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mean_us().is_nan());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for us in [0u64, 1, 7, 15] {
+            h.record_us(us);
+        }
+        assert_eq!(h.quantile(0.25), 0.0);
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.75), 7.0);
+        assert_eq!(h.quantile(1.0), 15.0);
+    }
+
+    #[test]
+    fn span_records_elapsed() {
+        let h = Histogram::new();
+        let span = Span::begin();
+        std::thread::sleep(Duration::from_millis(2));
+        let d = span.end(&h);
+        assert!(d >= Duration::from_millis(2));
+        assert_eq!(h.count(), 1);
+        assert!(h.max_us() >= 2000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_us(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.max_us(), 39_999);
+    }
+}

@@ -1,0 +1,202 @@
+//! The shared metric registry: a named, typed directory of counters,
+//! gauges, histograms and series that every component of the stack —
+//! MLB, MMP cluster, simulator, sweep threads — records into.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::series::{PhasedSeries, Series};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One registered metric, tagged with its kind.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(Arc<Counter>),
+    /// Point-in-time value.
+    Gauge(Arc<Gauge>),
+    /// Log-bucketed latency distribution (µs).
+    Histogram(Arc<Histogram>),
+    /// Exact-sample latency distribution (seconds).
+    Series(Arc<Series>),
+    /// Timestamped, phase-partitioned latency series (seconds).
+    PhasedSeries(Arc<PhasedSeries>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Series(_) => "series",
+            Metric::PhasedSeries(_) => "phased_series",
+        }
+    }
+}
+
+/// A registered metric with its name and help text.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Metric name, `snake_case` with a `scale_` prefix by convention
+    /// (see DESIGN.md §8 for the full naming scheme).
+    pub name: String,
+    /// One-line human description, exported as Prometheus `# HELP`.
+    pub help: String,
+    /// The metric itself.
+    pub metric: Metric,
+}
+
+/// A thread-safe directory of named metrics.
+///
+/// Registration is idempotent: registering a name twice returns the
+/// same underlying metric, so independent components (or sweep threads)
+/// can `register_*` the same name and share one instance. Registering
+/// an existing name as a *different* kind panics — that is a naming
+/// bug, not a runtime condition.
+///
+/// ```
+/// let reg = scale_obs::Registry::new();
+/// let c1 = reg.counter("scale_demo_events_total", "demo events");
+/// let c2 = reg.counter("scale_demo_events_total", "demo events");
+/// c1.inc();
+/// assert_eq!(c2.get(), 1); // same counter
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register_with(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut entries = self.entries.lock();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        match self.register_with(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.register_with(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.register_with(name, help, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) an exact-sample series.
+    pub fn series(&self, name: &str, help: &str) -> Arc<Series> {
+        match self.register_with(name, help, || Metric::Series(Arc::new(Series::new()))) {
+            Metric::Series(s) => s,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a phased series.
+    pub fn phased_series(&self, name: &str, help: &str) -> Arc<PhasedSeries> {
+        match self.register_with(name, help, || {
+            Metric::PhasedSeries(Arc::new(PhasedSeries::new()))
+        }) {
+            Metric::PhasedSeries(s) => s,
+            other => panic!("metric '{name}' already registered as {}", other.kind()),
+        }
+    }
+
+    /// Snapshot of all entries, in registration order.
+    pub fn entries(&self) -> Vec<Entry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("scale_x_total", "x");
+        let b = reg.counter("scale_x_total", "x");
+        a.add(5);
+        assert_eq!(b.get(), 5);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("scale_x_total", "x");
+        reg.gauge("scale_x_total", "x");
+    }
+
+    #[test]
+    fn entries_preserve_registration_order() {
+        let reg = Registry::new();
+        reg.counter("scale_a_total", "a");
+        reg.gauge("scale_b", "b");
+        reg.histogram("scale_c_us", "c");
+        reg.series("scale_d_seconds", "d");
+        let names: Vec<String> = reg.entries().into_iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            ["scale_a_total", "scale_b", "scale_c_us", "scale_d_seconds"]
+        );
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("scale_shared_total", "shared");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("scale_shared_total", "shared").get(), 4000);
+    }
+}

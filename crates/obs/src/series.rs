@@ -1,0 +1,348 @@
+//! Exact-sample latency series.
+//!
+//! [`Series`] is the registry-resident counterpart of the simulator's
+//! `Samples`: it keeps every sample and computes the same nearest-rank
+//! quantiles, so sweep binaries that move from private vectors to the
+//! shared registry report **bit-identical** statistics. [`PhasedSeries`]
+//! adds timestamping and phase partitioning for failover timelines
+//! (steady / during-failover / recovered), replacing the ad-hoc p99
+//! phase code that used to live in the chaos simulator.
+
+use parking_lot::Mutex;
+
+/// A shared, exact-sample latency series (seconds).
+///
+/// Unlike [`Histogram`](crate::Histogram), a `Series` stores every
+/// sample (one `f64` each) behind a mutex; use it where exact
+/// quantiles matter more than a bounded footprint — experiment sweeps,
+/// not production hot paths. All statistics use the same nearest-rank
+/// definition as the simulator's `Samples`:
+/// `rank = ceil(q·n)` clamped to `[1, n]`, answer = sorted `values[rank-1]`.
+///
+/// ```
+/// let s = scale_obs::Series::new();
+/// for i in 1..=100 { s.push(i as f64); }
+/// assert_eq!(s.quantile(0.99), 99.0);
+/// assert_eq!(s.p50(), 50.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Series {
+    inner: Mutex<SeriesInner>,
+}
+
+#[derive(Debug, Default)]
+struct SeriesInner {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl SeriesInner {
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    fn quantile(&mut self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.values.len() as f64).ceil() as usize).clamp(1, self.values.len());
+        self.values[rank - 1]
+    }
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Pre-size for `n` expected samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Series {
+            inner: Mutex::new(SeriesInner {
+                values: Vec::with_capacity(n),
+                sorted: false,
+            }),
+        }
+    }
+
+    /// Record one sample.
+    pub fn push(&self, v: f64) {
+        let mut inner = self.inner.lock();
+        inner.values.push(v);
+        inner.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().values.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nearest-rank q-quantile (q in `[0, 1]`); NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.inner.lock().quantile(q)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile — the paper's headline tail metric.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        let inner = self.inner.lock();
+        if inner.values.is_empty() {
+            return f64::NAN;
+        }
+        inner.values.iter().sum::<f64>() / inner.values.len() as f64
+    }
+
+    /// Largest sample; NaN when empty.
+    pub fn max(&self) -> f64 {
+        let mut inner = self.inner.lock();
+        inner.ensure_sorted();
+        *inner.values.last().unwrap_or(&f64::NAN)
+    }
+
+    /// Empirical CDF with `points` evenly spaced probability levels:
+    /// `(value, P[X <= value])` pairs, identical to `Samples::cdf`.
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        let mut inner = self.inner.lock();
+        if inner.values.is_empty() {
+            return Vec::new();
+        }
+        inner.ensure_sorted();
+        (1..=points)
+            .map(|i| {
+                let p = i as f64 / points as f64;
+                let rank =
+                    ((p * inner.values.len() as f64).ceil() as usize).clamp(1, inner.values.len());
+                (inner.values[rank - 1], p)
+            })
+            .collect()
+    }
+}
+
+/// Which phase of a failover timeline a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Steady state, before the first fault fires.
+    Before,
+    /// Between the first fault and the moment repair completed.
+    During,
+    /// After repair completed.
+    After,
+}
+
+/// A timestamped latency series partitioned into failover phases.
+///
+/// Samples are `(time, delay)` pairs. Once the experiment knows when
+/// the first fault fired and when repair finished, call
+/// [`set_boundaries`](PhasedSeries::set_boundaries); per-phase
+/// quantiles then use the same nearest-rank rule as [`Series`]:
+/// a sample is *before* when `t < fault`, *during* when
+/// `fault <= t < recovered`, and *after* otherwise.
+///
+/// ```
+/// let s = scale_obs::PhasedSeries::new();
+/// s.push(1.0, 0.010);
+/// s.push(5.0, 0.900); // fault window
+/// s.push(9.0, 0.011);
+/// s.set_boundaries(4.0, 8.0);
+/// assert_eq!(s.phase_quantile(scale_obs::Phase::During, 0.99), 0.900);
+/// ```
+#[derive(Debug, Default)]
+pub struct PhasedSeries {
+    inner: Mutex<PhasedInner>,
+}
+
+#[derive(Debug, Default)]
+struct PhasedInner {
+    samples: Vec<(f64, f64)>,
+    /// Time of the first fault; `None` means everything is `Before`.
+    fault_at: Option<f64>,
+    /// Time repair completed; `None` with a fault set means the run
+    /// never recovered, so everything past the fault is `During`.
+    recovered_at: Option<f64>,
+}
+
+impl PhasedSeries {
+    /// An empty phased series.
+    pub fn new() -> Self {
+        PhasedSeries::default()
+    }
+
+    /// Pre-size for `n` expected samples.
+    pub fn with_capacity(n: usize) -> Self {
+        PhasedSeries {
+            inner: Mutex::new(PhasedInner {
+                samples: Vec::with_capacity(n),
+                fault_at: None,
+                recovered_at: None,
+            }),
+        }
+    }
+
+    /// Record a `(time, delay)` sample.
+    pub fn push(&self, t: f64, delay: f64) {
+        self.inner.lock().samples.push((t, delay));
+    }
+
+    /// Total number of samples across all phases.
+    pub fn len(&self) -> usize {
+        self.inner.lock().samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Set the phase boundaries: when the first fault fired and when
+    /// repair completed. Pass `f64::INFINITY` for `recovered_at` if the
+    /// run never recovered.
+    pub fn set_boundaries(&self, fault_at: f64, recovered_at: f64) {
+        let mut inner = self.inner.lock();
+        inner.fault_at = Some(fault_at);
+        inner.recovered_at = Some(recovered_at);
+    }
+
+    /// Phase of a sample recorded at time `t` under the current
+    /// boundaries.
+    fn phase_of(inner: &PhasedInner, t: f64) -> Phase {
+        match (inner.fault_at, inner.recovered_at) {
+            (None, _) => Phase::Before,
+            (Some(f), _) if t < f => Phase::Before,
+            (Some(_), Some(r)) if t < r => Phase::During,
+            (Some(_), None) => Phase::During,
+            _ => Phase::After,
+        }
+    }
+
+    /// Number of samples in `phase`.
+    pub fn phase_len(&self, phase: Phase) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .samples
+            .iter()
+            .filter(|(t, _)| Self::phase_of(&inner, *t) == phase)
+            .count()
+    }
+
+    /// Nearest-rank q-quantile of the delays in `phase`; NaN when the
+    /// phase holds no samples.
+    pub fn phase_quantile(&self, phase: Phase, q: f64) -> f64 {
+        let inner = self.inner.lock();
+        let mut values: Vec<f64> = inner
+            .samples
+            .iter()
+            .filter(|(t, _)| Self::phase_of(&inner, *t) == phase)
+            .map(|(_, d)| *d)
+            .collect();
+        drop(inner);
+        if values.is_empty() {
+            return f64::NAN;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        values[rank - 1]
+    }
+
+    /// Per-phase 99th percentiles `(before, during, after)` — the chaos
+    /// sweep's headline triple.
+    pub fn p99_by_phase(&self) -> (f64, f64, f64) {
+        (
+            self.phase_quantile(Phase::Before, 0.99),
+            self.phase_quantile(Phase::During, 0.99),
+            self.phase_quantile(Phase::After, 0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_matches_samples_semantics() {
+        let s = Series::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.01), 1.0);
+        assert_eq!(s.mean(), 50.5);
+        assert_eq!(s.max(), 100.0);
+        let cdf = s.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        assert_eq!(cdf[0], (10.0, 0.1));
+        assert_eq!(cdf[9], (100.0, 1.0));
+    }
+
+    #[test]
+    fn empty_series_is_nan() {
+        let s = Series::new();
+        assert!(s.p99().is_nan());
+        assert!(s.mean().is_nan());
+        assert!(s.max().is_nan());
+        assert!(s.cdf(10).is_empty());
+    }
+
+    #[test]
+    fn phased_partitions_by_time() {
+        let s = PhasedSeries::new();
+        for i in 0..10 {
+            s.push(i as f64, 0.001); // t = 0..9, steady
+        }
+        for i in 10..15 {
+            s.push(i as f64, 1.0); // t = 10..14, failover window
+        }
+        for i in 15..20 {
+            s.push(i as f64, 0.002); // recovered
+        }
+        // Without boundaries, everything is Before.
+        assert_eq!(s.phase_len(Phase::Before), 20);
+        s.set_boundaries(10.0, 15.0);
+        assert_eq!(s.phase_len(Phase::Before), 10);
+        assert_eq!(s.phase_len(Phase::During), 5);
+        assert_eq!(s.phase_len(Phase::After), 5);
+        let (b, d, a) = s.p99_by_phase();
+        assert_eq!(b, 0.001);
+        assert_eq!(d, 1.0);
+        assert_eq!(a, 0.002);
+    }
+
+    #[test]
+    fn phased_never_recovered() {
+        let s = PhasedSeries::new();
+        s.push(1.0, 0.1);
+        s.push(9.0, 0.9);
+        s.set_boundaries(5.0, f64::INFINITY);
+        assert_eq!(s.phase_len(Phase::Before), 1);
+        assert_eq!(s.phase_len(Phase::During), 1);
+        assert_eq!(s.phase_len(Phase::After), 0);
+        assert!(s.phase_quantile(Phase::After, 0.99).is_nan());
+    }
+}

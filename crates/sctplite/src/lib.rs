@@ -25,7 +25,7 @@ pub mod tokio_transport;
 pub use assoc::{AssocState, Association, Event};
 pub use chunk::{ppid, Chunk, ChunkType, Frame, SctpError};
 pub use memory::{FaultInjector, MemoryLink};
-pub use tokio_transport::{SctpListener, SctpStream, StreamEvent, TransportError};
+pub use tokio_transport::{LinkMetrics, SctpListener, SctpStream, StreamEvent, TransportError};
 
 #[cfg(test)]
 mod proptests {

@@ -15,9 +15,9 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     rng: StdRng,
-    /// Probability in [0,1] that a frame is silently dropped.
+    /// Probability in `[0, 1]` that a frame is silently dropped.
     pub drop_chance: f64,
-    /// Probability in [0,1] that one byte of a frame is flipped.
+    /// Probability in `[0, 1]` that one byte of a frame is flipped.
     pub corrupt_chance: f64,
 }
 

@@ -10,8 +10,10 @@
 use crate::assoc::{Association, Event};
 use crate::chunk::{Frame, SctpError};
 use bytes::Bytes;
+use scale_obs::{Counter, Histogram, Registry};
 use std::io;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
 use tokio::net::tcp::{OwnedReadHalf, OwnedWriteHalf};
 use tokio::net::{TcpListener, TcpStream};
@@ -80,6 +82,45 @@ async fn read_frame(r: &mut OwnedReadHalf) -> Result<Frame, TransportError> {
     Ok(Frame::decode(Bytes::from(buf))?)
 }
 
+/// Link-level metric handles for one monitored association: heartbeat
+/// round-trip time and reconnect count. Register once per logical link
+/// (e.g. MLB↔MMP-3) and attach with [`SctpStream::attach_metrics`];
+/// clones share the same underlying registry entries, so a link that is
+/// re-established keeps accumulating into the same series.
+#[derive(Clone)]
+pub struct LinkMetrics {
+    rtt: Arc<Histogram>,
+    reconnects: Arc<Counter>,
+}
+
+impl LinkMetrics {
+    /// Register (or look up) the metrics of the link named `link` in
+    /// `registry`: `scale_link_<link>_heartbeat_rtt_us` and
+    /// `scale_link_<link>_reconnects_total`.
+    pub fn register(registry: &Registry, link: &str) -> LinkMetrics {
+        LinkMetrics {
+            rtt: registry.histogram(
+                &format!("scale_link_{link}_heartbeat_rtt_us"),
+                "HEARTBEAT to HEARTBEAT-ACK round-trip time of the association",
+            ),
+            reconnects: registry.counter(
+                &format!("scale_link_{link}_reconnects_total"),
+                "Times the association was re-established after a failure",
+            ),
+        }
+    }
+
+    /// The heartbeat RTT histogram (µs).
+    pub fn rtt(&self) -> &Histogram {
+        &self.rtt
+    }
+
+    /// Number of re-establishments so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.get()
+    }
+}
+
 /// An established sctplite association over TCP.
 pub struct SctpStream {
     assoc: Association,
@@ -88,6 +129,11 @@ pub struct SctpStream {
     /// Artificial one-way delay applied before each send (propagation
     /// emulation, like the paper's netem setup).
     pub link_delay: Duration,
+    /// Attached link metrics, if any.
+    metrics: Option<LinkMetrics>,
+    /// Send times of heartbeats whose acks are still outstanding, used
+    /// to compute RTT. Only populated while metrics are attached.
+    pending_pings: Vec<(u64, Instant)>,
 }
 
 impl SctpStream {
@@ -119,6 +165,8 @@ impl SctpStream {
             rd,
             wr,
             link_delay: Duration::ZERO,
+            metrics: None,
+            pending_pings: Vec::new(),
         })
     }
 
@@ -143,7 +191,32 @@ impl SctpStream {
             rd,
             wr,
             link_delay: Duration::ZERO,
+            metrics: None,
+            pending_pings: Vec::new(),
         })
+    }
+
+    /// Observe this association: heartbeat RTTs recorded per
+    /// [`ping`](Self::ping)/ack pair, re-establishments counted by
+    /// [`reconnect`](Self::reconnect).
+    pub fn attach_metrics(&mut self, metrics: LinkMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Tear down the old TCP stream and re-establish the association
+    /// against `addr` (same or failover address), keeping the link
+    /// delay and metrics. Outstanding pings are forgotten — their acks
+    /// died with the old association. Bumps the reconnect counter.
+    pub async fn reconnect(&mut self, addr: &str, local_tag: u32) -> Result<(), TransportError> {
+        let fresh = SctpStream::connect(addr, local_tag).await?;
+        self.assoc = fresh.assoc;
+        self.rd = fresh.rd;
+        self.wr = fresh.wr;
+        self.pending_pings.clear();
+        if let Some(m) = &self.metrics {
+            m.reconnects.inc();
+        }
+        Ok(())
     }
 
     /// Send one application message on `stream_id`.
@@ -184,7 +257,17 @@ impl SctpStream {
                         })
                     }
                     Event::HeartbeatAck { nonce } => {
-                        return Ok(StreamEvent::HeartbeatAck { nonce })
+                        if let Some(at) = self
+                            .pending_pings
+                            .iter()
+                            .position(|(n, _)| *n == nonce)
+                            .map(|i| self.pending_pings.swap_remove(i).1)
+                        {
+                            if let Some(m) = &self.metrics {
+                                m.rtt.record_duration(at.elapsed());
+                            }
+                        }
+                        return Ok(StreamEvent::HeartbeatAck { nonce });
                     }
                     Event::Closed => return Err(TransportError::Closed),
                     Event::Aborted { reason } => {
@@ -220,6 +303,9 @@ impl SctpStream {
     /// Send a HEARTBEAT probe carrying `nonce`. The peer's ack comes
     /// back as [`StreamEvent::HeartbeatAck`] from [`Self::next_event`].
     pub async fn ping(&mut self, nonce: u64) -> Result<(), TransportError> {
+        if self.metrics.is_some() {
+            self.pending_pings.push((nonce, Instant::now()));
+        }
         self.assoc.heartbeat(nonce)?;
         while let Some(f) = self.assoc.poll_egress() {
             write_frame(&mut self.wr, &f).await?;

@@ -22,12 +22,13 @@
 //! hash-based `BackoffPolicy` — two runs with the same seeds produce
 //! identical reports.
 
-use crate::metrics::Samples;
 use crate::queueing::{ProcCosts, Procedure, Request, VmServer};
 use scale_core::failover::{BackoffPolicy, HealthConfig, Priority, ShedPolicy, TokenBucket};
 use scale_core::ScaleDc;
 use scale_hashring::HashRing;
+use scale_obs::PhasedSeries;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::Arc;
 
 /// What happens to a VM at a fault event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -299,8 +300,10 @@ pub struct ChaosSim {
     copies: Vec<Vec<usize>>,
     plan: FaultPlan,
     bucket: TokenBucket,
-    /// (arrival time, total delay) per served request.
-    samples: Vec<(f64, f64)>,
+    /// Timestamped per-request delays; phase boundaries are set at
+    /// [`finish`](ChaosSim::finish). Swappable for a registry-resident
+    /// series via [`use_delay_series`](ChaosSim::use_delay_series).
+    delays: Arc<PhasedSeries>,
     first_crash: Option<f64>,
     repair_finish: f64,
     report: ChaosReport,
@@ -328,12 +331,27 @@ impl ChaosSim {
             copies,
             plan,
             bucket: TokenBucket::new(cfg.shed.bucket_rate, cfg.shed.bucket_burst),
-            samples: Vec::new(),
+            delays: Arc::new(PhasedSeries::new()),
             first_crash: None,
             repair_finish: 0.0,
             report: ChaosReport::default(),
             cfg,
         }
+    }
+
+    /// Record per-request delays into a shared (typically
+    /// registry-registered) series instead of the private default —
+    /// this is how sweep binaries read chaos latency through the
+    /// metrics registry. Call before [`run`](ChaosSim::run); samples
+    /// already recorded stay in the series being replaced.
+    pub fn use_delay_series(&mut self, series: Arc<PhasedSeries>) {
+        self.delays = series;
+    }
+
+    /// The timestamped delay series (phase boundaries are set by
+    /// [`finish`](ChaosSim::finish)).
+    pub fn delays(&self) -> &Arc<PhasedSeries> {
+        &self.delays
     }
 
     fn ring_holders(ring: &HashRing<u32>, r: usize, device: usize) -> Vec<usize> {
@@ -516,7 +534,7 @@ impl ChaosSim {
                     self.report.failovers += 1;
                 }
                 self.errors_seen[vm] = 0;
-                self.samples.push((now, finish - now));
+                self.delays.push(now, finish - now);
                 return;
             }
             if !self.alive[vm] {
@@ -579,28 +597,19 @@ impl ChaosSim {
             .copies
             .iter()
             .all(|c| c.is_empty() || c.len() >= want.min(self.cfg.replication));
-        // Phase-partitioned p99.
+        // Phase-partitioned p99 via the shared series: before the first
+        // crash / between crash and repair completion / recovered.
         let crash = self.first_crash.unwrap_or(f64::INFINITY);
         let recovered = if self.repair_finish > 0.0 {
             self.repair_finish
         } else {
             f64::INFINITY
         };
-        let mut before = Samples::new();
-        let mut during = Samples::new();
-        let mut after = Samples::new();
-        for &(t, delay) in &self.samples {
-            if t < crash {
-                before.push(delay);
-            } else if t < recovered {
-                during.push(delay);
-            } else {
-                after.push(delay);
-            }
-        }
-        report.p99_before = before.p99();
-        report.p99_during = during.p99();
-        report.p99_after = after.p99();
+        self.delays.set_boundaries(crash, recovered);
+        let (before, during, after) = self.delays.p99_by_phase();
+        report.p99_before = before;
+        report.p99_during = during;
+        report.p99_after = after;
         report
     }
 }
@@ -706,6 +715,40 @@ mod tests {
         assert_eq!(a.copies_restored, b.copies_restored);
         assert_eq!(a.recovery_s, b.recovery_s);
         assert_eq!(a.p99_during, b.p99_during);
+    }
+
+    #[test]
+    fn registry_series_matches_report_p99s() {
+        use scale_obs::Registry;
+        let registry = Arc::new(Registry::new());
+        let series = registry.phased_series(
+            "sim_chaos_delay_seconds",
+            "Per-request delay under the chaos plan",
+        );
+        let cfg = ChaosConfig {
+            n_vms: 4,
+            replication: 2,
+            ..Default::default()
+        };
+        let n_devices = 400;
+        let rates = uniform_rates(n_devices, 200.0);
+        let stream = device_stream(42, &rates, ProcedureMix::typical(), 30.0);
+        let plan = FaultPlan::new().with_crash(15.0, 1);
+        let mut sim = ChaosSim::new(cfg, n_devices, plan);
+        sim.use_delay_series(series.clone());
+        sim.run(&stream);
+        let report = sim.finish(30.0);
+        // The registry-resident series carries the exact same phase
+        // p99s as the report (and as a run with the private default).
+        let (b, d, a) = series.p99_by_phase();
+        assert_eq!(b, report.p99_before);
+        assert_eq!(d, report.p99_during);
+        assert_eq!(a, report.p99_after);
+        let baseline = run_once(2, 42);
+        assert_eq!(report.p99_before, baseline.p99_before);
+        assert_eq!(report.p99_during, baseline.p99_during);
+        assert_eq!(report.p99_after, baseline.p99_after);
+        assert_eq!(report.served, baseline.served);
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl Samples {
         }
     }
 
-    /// The q-quantile (q in [0,1]) by nearest-rank. 0 samples → NaN.
+    /// The q-quantile (q in `[0, 1]`) by nearest-rank. 0 samples → NaN.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.values.is_empty() {
             return f64::NAN;

@@ -10,6 +10,8 @@
 
 use crate::metrics::{Samples, TimeSeries};
 use scale_hashring::HashRing;
+use scale_obs::Series;
+use std::sync::Arc;
 
 /// Control-plane procedures and their service demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,8 +163,15 @@ pub struct DcSim {
     pub assignment: Assignment,
     pub reassign: Option<ReassignPolicy>,
     pub costs: ProcCosts,
-    /// Per-request latencies.
+    /// Per-request latencies (used when no [`delay_sink`](Self::delay_sink)
+    /// is attached).
     pub delays: Samples,
+    /// When set, per-request delays are recorded here — a shared,
+    /// typically registry-registered [`Series`] — instead of the
+    /// private `delays` vector. `scale_obs::Series` computes the same
+    /// nearest-rank quantiles as [`Samples`], so sweeps reading stats
+    /// through the registry report identical numbers.
+    pub delay_sink: Option<Arc<Series>>,
     pub reassignments: u64,
 }
 
@@ -175,6 +184,7 @@ impl DcSim {
             reassign: None,
             costs: ProcCosts::default(),
             delays: Samples::new(),
+            delay_sink: None,
             reassignments: 0,
         }
     }
@@ -182,6 +192,12 @@ impl DcSim {
     /// Register `n` devices with pre-computed holder lists.
     pub fn with_holders(mut self, holders: Vec<Vec<usize>>) -> Self {
         self.holders = holders;
+        self
+    }
+
+    /// Record delays into `series` (see [`delay_sink`](Self::delay_sink)).
+    pub fn with_delay_series(mut self, series: Arc<Series>) -> Self {
+        self.delay_sink = Some(series);
         self
     }
 
@@ -271,7 +287,10 @@ impl DcSim {
         let service = self.costs.of(req.procedure);
         let finish = self.vms[vm].serve(req.time, service);
         let delay = finish - req.time + extra;
-        self.delays.push(delay);
+        match &self.delay_sink {
+            Some(sink) => sink.push(delay),
+            None => self.delays.push(delay),
+        }
         delay
     }
 
@@ -452,6 +471,26 @@ mod tests {
             .map(|h| h[1])
             .collect();
         assert_eq!(partners.len(), 1);
+    }
+
+    #[test]
+    fn delay_sink_diverts_and_matches_private_samples() {
+        let series = Arc::new(Series::new());
+        let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
+            .with_holders(placement::pinned(1, 1))
+            .with_delay_series(series.clone());
+        let mut plain =
+            DcSim::new(1, Assignment::Pinned, 1.0).with_holders(placement::pinned(1, 1));
+        for _ in 0..100 {
+            dc.submit(req(0.0, 0));
+            plain.submit(req(0.0, 0));
+        }
+        assert_eq!(dc.delays.len(), 0, "sink diverts the private vector");
+        assert_eq!(series.len(), 100);
+        // Registry-resident stats are bit-identical to the private ones.
+        assert_eq!(series.p99(), plain.delays.p99());
+        assert_eq!(series.p50(), plain.delays.p50());
+        assert_eq!(series.cdf(20), plain.delays.cdf(20));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Minimal offline stand-in for serde_json: renders the vendored
-//! serde's `Value` tree as JSON text. Matches upstream formatting where
-//! it matters for this repo's result files — 2-space pretty indent,
-//! floats always carrying a decimal point, non-finite floats as null.
+//! serde's `Value` tree as JSON text and parses JSON text back into a
+//! `Value` tree. Matches upstream formatting where it matters for this
+//! repo's result files — 2-space pretty indent, floats always carrying
+//! a decimal point, non-finite floats as null.
 
 use serde::{Serialize, Value};
 
@@ -40,7 +41,7 @@ fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, pretty, |o, it, ind| {
             write_value(o, it, ind, pretty)
-        }, '[', ']'),
+        }, ('[', ']')),
         Value::Object(fields) => write_seq(
             out,
             fields.iter(),
@@ -55,8 +56,7 @@ fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
                 }
                 write_value(o, val, ind, pretty);
             },
-            '{',
-            '}',
+            ('{', '}'),
         ),
     }
 }
@@ -68,8 +68,7 @@ fn write_seq<T>(
     indent: usize,
     pretty: bool,
     mut write_item: impl FnMut(&mut String, T, usize),
-    open: char,
-    close: char,
+    (open, close): (char, char),
 ) {
     out.push(open);
     if len == 0 {
@@ -129,8 +128,223 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
+/// Parse JSON text into a [`Value`] tree.
+///
+/// Numbers parse as `U64` when they are non-negative integers that fit,
+/// `I64` when negative integers, and `F64` otherwise — the same split
+/// the serializer produces.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_lit("null", Value::Null),
+            Some(b't') => self.eat_lit("true", Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this repo's
+                            // snapshots; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // byte boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number '{text}'")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use serde::Value;
+
     #[derive(serde::Serialize)]
     struct Row {
         series: String,
@@ -159,5 +373,38 @@ mod tests {
         assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(super::to_string(&3u32).unwrap(), "3");
         assert_eq!(super::to_string(&3.0f64).unwrap(), "3.0");
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("p99 \"tail\"\n".into())),
+            ("count".into(), Value::U64(42)),
+            ("delta".into(), Value::I64(-7)),
+            ("ratio".into(), Value::F64(0.125)),
+            ("big".into(), Value::F64(1e9)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "items".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(2.5)]),
+            ),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        let mut compact = String::new();
+        super::write_value(&mut compact, &v, 0, false);
+        assert_eq!(super::from_str(&compact).unwrap(), v);
+        let mut pretty = String::new();
+        super::write_value(&mut pretty, &v, 0, true);
+        assert_eq!(super::from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(super::from_str("{").is_err());
+        assert!(super::from_str("[1,]").is_err());
+        assert!(super::from_str("12 34").is_err());
+        assert!(super::from_str("\"unterminated").is_err());
     }
 }
