@@ -20,6 +20,8 @@
 //! Fig 6(a)/6(b) and the F6a/F6b experiment binaries evaluate exactly
 //! these functions.
 
+#![forbid(unsafe_code)]
+
 /// Parameters of the appendix model.
 #[derive(Debug, Clone, Copy)]
 pub struct ModelParams {

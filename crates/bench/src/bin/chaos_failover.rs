@@ -39,7 +39,7 @@ fn run_once(registry: &Registry, run_tag: &str, r: usize, p: &Params) -> ChaosRe
     let mut sim = ChaosSim::new(cfg, p.n_devices, plan);
     // Per-request delays live in the shared registry; the report's
     // phase p99s are computed from this same series at finish().
-    let series = registry.phased_series(
+    let series = registry.phased_series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
         &format!("sim_chaos_r{r}_{run_tag}_delay_seconds"),
         "Per-request delay around the mid-run crash",
     );

@@ -30,7 +30,7 @@ fn main() {
         let rates = scale_sim::uniform_rates(n_devices, rate);
         let stream =
             scale_sim::device_stream(42, &rates, ProcedureMix::only(proc_), duration);
-        let series = registry.series(
+        let series = registry.series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
             &format!(
                 "sim_fig2a_{}_{}rps_delay_seconds",
                 label.replace('-', "_"),

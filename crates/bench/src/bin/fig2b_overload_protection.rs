@@ -15,7 +15,7 @@ fn run(registry: &Registry, rate: f64, reassign: bool) -> Arc<Series> {
     let rates = scale_sim::uniform_rates(n_devices, rate);
     let stream =
         scale_sim::device_stream(7, &rates, ProcedureMix::only(Procedure::Attach), 6.0);
-    let series = registry.series(
+    let series = registry.series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
         &format!("sim_fig2b_attach_{}rps_delay_seconds", rate as u32),
         "Attach delay of one fig2b load point",
     );

@@ -22,7 +22,7 @@ fn main() {
         let n_devices = 100;
         let rates = scale_sim::uniform_rates(n_devices, 100.0); // light load
         let stream = scale_sim::device_stream(3, &rates, ProcedureMix::only(proc_), 10.0);
-        let series = registry.series(
+        let series = registry.series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
             &format!(
                 "sim_fig3a_{}_rtt{}ms_delay_seconds",
                 label.replace('-', "_"),

@@ -41,7 +41,7 @@ fn run(registry: &Registry, static_remote_fraction: f64) -> Arc<Series> {
         ProcedureMix::only(Procedure::ServiceRequest),
         15.0,
     );
-    let series = registry.series(
+    let series = registry.series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
         &format!(
             "sim_fig3b_remote{}pct_delay_seconds",
             (static_remote_fraction * 100.0) as u32

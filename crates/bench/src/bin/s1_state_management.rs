@@ -30,7 +30,7 @@ fn run(
         ProcedureMix::only(Procedure::ServiceRequest),
         DURATION,
     );
-    let series = registry.series(
+    let series = registry.series( // lint: allow(metric-name): sim_* series names are frozen in results/*.json
         &format!(
             "sim_s1_{}_r{}_delay_seconds",
             label.replace('-', "_"),

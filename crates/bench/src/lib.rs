@@ -5,6 +5,8 @@
 //! Each binary prints the series the paper reports and writes
 //! `results/<experiment>.json`.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fs;
 use std::path::Path;
@@ -74,14 +76,16 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let f = &f;
+    // A panicking sweep point should propagate its original payload, not
+    // be re-wrapped in a second panic message.
     crossbeam::scope(|s| {
         let handles: Vec<_> = (0..n).map(|i| s.spawn(move |_| f(i))).collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep point panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
-    .expect("sweep scope panicked")
+    .unwrap_or_else(|e| std::panic::resume_unwind(e))
 }
 
 #[cfg(test)]

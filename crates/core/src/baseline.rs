@@ -58,14 +58,14 @@ impl LegacyPool {
             stats: PoolStats::default(),
         };
         for m in members {
-            pool.add_member(m.clone(), plmn);
+            pool.add_member(m, plmn);
         }
         pool
     }
 
     /// Add an MME to the pool (the cumbersome capacity expansion of
     /// §3.1: only *new* devices will ever be assigned to it).
-    pub fn add_member(&mut self, member: PoolMember, plmn: Plmn) {
+    pub fn add_member(&mut self, member: &PoolMember, plmn: Plmn) {
         let engine = MmeCore::new(MmeConfig {
             plmn,
             mme_code: member.mme_code,
@@ -205,17 +205,18 @@ impl LegacyPool {
             .take(count)
             .collect();
         for old_guti in candidates {
-            let Some(blob) = self
-                .members
-                .get(&from)
-                .and_then(|m| m.export_state(&old_guti))
-            else {
+            let Some(source) = self.members.get_mut(&from) else {
                 continue;
             };
-            self.members.get_mut(&from).unwrap().remove_context(&old_guti);
+            let Some(blob) = source.export_state(&old_guti) else {
+                continue;
+            };
+            source.remove_context(&old_guti);
             // Import at the target, then re-key under the target's code
             // and a fresh M-TMSI from the target's own space.
-            let target = self.members.get_mut(&to).unwrap();
+            let Some(target) = self.members.get_mut(&to) else {
+                continue;
+            };
             let new_m_tmsi = target.allocate_m_tmsi();
             if let Ok(mut ctx) = scale_mme::UeContext::from_bytes(blob) {
                 let new_guti = Guti {

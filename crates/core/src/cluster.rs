@@ -160,7 +160,7 @@ impl ScaleDc {
             config,
         };
         for _ in 0..dc.config.initial_vms {
-            dc.add_mmp();
+            let _ = dc.add_mmp();
         }
         dc
     }
@@ -194,11 +194,10 @@ impl ScaleDc {
     }
 
     /// Spawn a new MMP VM, assign it a free 8-bit id and add it to the
-    /// ring (its token arcs immediately start owning keys).
-    pub fn add_mmp(&mut self) -> VmId {
-        let vm = (1..=255u32)
-            .find(|id| !self.mmps.contains_key(id))
-            .expect("MMP id space exhausted");
+    /// ring (its token arcs immediately start owning keys). Returns
+    /// `None` when the 8-bit VM id space is exhausted (255 live VMs).
+    pub fn add_mmp(&mut self) -> Option<VmId> {
+        let vm = (1..=255u32).find(|id| !self.mmps.contains_key(id))?;
         let engine = MmeCore::new(MmeConfig {
             plmn: self.config.plmn,
             mme_group_id: self.config.mme_group_id,
@@ -209,7 +208,9 @@ impl ScaleDc {
         });
         self.mmps.insert(vm, engine);
         self.mlb.add_mmp(vm);
-        vm
+        #[cfg(feature = "verify")]
+        self.check_invariants();
+        Some(vm)
     }
 
     /// Decommission an MMP VM, first transferring every state it holds
@@ -229,6 +230,8 @@ impl ScaleDc {
             self.sync_holders(guti, Some(vm));
         }
         self.mmps.remove(&vm);
+        #[cfg(feature = "verify")]
+        self.check_invariants();
         true
     }
 
@@ -245,6 +248,8 @@ impl ScaleDc {
         self.mmps.remove(&vm);
         self.crashed.insert(vm);
         self.stats.crashes += 1;
+        #[cfg(feature = "verify")]
+        self.check_invariants();
         true
     }
 
@@ -298,6 +303,11 @@ impl ScaleDc {
             obs.repair_ranges.add(report.under_replicated as u64);
             obs.repair_copies.add(report.copies_restored);
         }
+        #[cfg(feature = "verify")]
+        {
+            self.check_invariants();
+            self.check_replica_invariants();
+        }
         report
     }
 
@@ -333,7 +343,85 @@ impl ScaleDc {
             self.sync_holders(guti, None);
         }
         self.mlb.mark_up(vm);
+        #[cfg(feature = "verify")]
+        {
+            self.check_invariants();
+            self.check_replica_invariants();
+        }
         true
+    }
+
+    /// Audit DC-wide structural coherence, panicking on violation:
+    /// the MLB's own invariants, plus ring membership == live engines
+    /// ∪ crashed-but-unrepaired VMs (a VM on the ring with no engine
+    /// and no pending crash would blackhole every key it owns).
+    /// Called after every membership mutation under `verify`.
+    // lint: allow(alloc): verify-feature audit, never on the message path
+    #[cfg(feature = "verify")]
+    pub fn check_invariants(&self) {
+        self.mlb.check_invariants();
+        let on_ring: BTreeSet<VmId> = self.mlb.mmps().iter().copied().collect();
+        let mut expected: BTreeSet<VmId> = self.mmps.keys().copied().collect();
+        for vm in &self.crashed {
+            assert!(
+                !self.mmps.contains_key(vm),
+                "VM {vm} is both live and awaiting repair"
+            );
+            expected.insert(*vm);
+        }
+        assert_eq!(
+            on_ring, expected,
+            "ring membership diverged from engines ∪ crashed"
+        );
+    }
+
+    /// Audit the replication degree of every registered device: after a
+    /// full sync pass (repair, restart warm-up, or epoch re-homing) and
+    /// with no crash pending, each device must live on exactly its
+    /// desired holder set — `min(R, live VMs)` distinct copies, or one
+    /// copy for access-aware single-copy devices — with no strays.
+    /// A no-op while a crash awaits [`Self::repair`] (the DC is
+    /// legitimately degraded then). Called at the end of repair,
+    /// restart and epoch runs under `verify`.
+    // lint: allow(alloc): verify-feature audit, never on the message path
+    #[cfg(feature = "verify")]
+    pub fn check_replica_invariants(&self) {
+        if !self.crashed.is_empty() {
+            return;
+        }
+        for &m_tmsi in self.device_weights().keys() {
+            let guti = self.mlb.guti(m_tmsi);
+            let mut desired = self.mlb.holders(m_tmsi);
+            if self.single_copy.contains(&m_tmsi) {
+                desired.truncate(1);
+            }
+            let want = if self.single_copy.contains(&m_tmsi) {
+                1
+            } else {
+                self.config.replication.min(self.mmps.len())
+            };
+            assert_eq!(
+                desired.len(),
+                want,
+                "device {m_tmsi}: ring offers {} holders, want {want}",
+                desired.len()
+            );
+            for vm in &desired {
+                assert!(
+                    self.mmps
+                        .get(vm)
+                        .map(|m| m.context(&guti).is_some())
+                        .unwrap_or(false),
+                    "device {m_tmsi}: desired holder VM {vm} is missing its copy"
+                );
+            }
+            for (vm, engine) in &self.mmps {
+                assert!(
+                    desired.contains(vm) || engine.context(&guti).is_none(),
+                    "device {m_tmsi}: stray copy on VM {vm} outside holder set {desired:?}"
+                );
+            }
+        }
     }
 
     /// Ensure `guti`'s state lives on exactly its desired holders.
@@ -708,10 +796,14 @@ impl ScaleDc {
         // 5. Elastic scaling with state transfer.
         let transfers_before = self.stats.replications;
         while self.mmps.len() < target {
-            self.add_mmp();
+            if self.add_mmp().is_none() {
+                break;
+            }
         }
         while self.mmps.len() > target && self.mmps.len() > 1 {
-            let victim = *self.mmps.keys().last().unwrap();
+            let Some(&victim) = self.mmps.keys().next_back() else {
+                break;
+            };
             self.remove_mmp(victim);
         }
         // 6. Re-home every device to its (possibly new) holders.
@@ -723,6 +815,11 @@ impl ScaleDc {
         self.stats.transfers += transferred;
         self.mlb.close_load_window();
         self.publish_metrics();
+        #[cfg(feature = "verify")]
+        {
+            self.check_invariants();
+            self.check_replica_invariants();
+        }
 
         EpochReport {
             provisioning: prov,
@@ -943,7 +1040,7 @@ mod tests {
             assert!(net.go_idle(ue));
         }
         let before = net.cp.vm_count();
-        let new_vm = net.cp.add_mmp();
+        let new_vm = net.cp.add_mmp().expect("id space not exhausted");
         // Re-home after the manual addition.
         let ids: Vec<u32> = net.cp.device_weights().keys().copied().collect();
         for m in ids {

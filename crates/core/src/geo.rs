@@ -152,7 +152,7 @@ impl GeoSelector {
             }
             roll -= w;
         }
-        Some(candidates.last().unwrap().dc)
+        candidates.last().map(|b| b.dc)
     }
 
     /// Which of a VM's devices are geo-replicated (§4.5.2 MMP-level

@@ -20,6 +20,8 @@
 //! byte-identical signaling — the methodological core of every
 //! comparison experiment.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod baseline;

@@ -18,6 +18,8 @@
 //! repeat lookups skip MD5 entirely, and the replica holder set is
 //! cached per routing epoch (invalidated whenever a VM joins or leaves
 //! the ring).
+//!
+//! lint: hot-path
 
 use crate::failover::{FailoverConfig, FailoverStats, HealthTracker, Priority, TokenBucket};
 use scale_hashring::{position_of, HashRing, PositionCache};
@@ -112,6 +114,7 @@ impl MlbRouter {
     /// MLB with `tokens` points per MMP, `replication` holders per
     /// device, and the GUTI identity (`plmn`/`mme_group_id`/`mme_code`)
     /// it stamps into allocated GUTIs.
+    // lint: allow(alloc): cold constructor
     pub fn new(tokens: u32, replication: usize, plmn: Plmn, mme_group_id: u16, mme_code: u8) -> Self {
         let failover = FailoverConfig::default();
         MlbRouter {
@@ -157,6 +160,8 @@ impl MlbRouter {
         *self.load_slot(vm) = VmLoad::default();
         self.health.forget(vm);
         self.epoch += 1;
+        #[cfg(feature = "verify")]
+        self.check_invariants();
     }
 
     /// Remove an MMP VM. Its dense load and health slots are reset here
@@ -169,6 +174,8 @@ impl MlbRouter {
         }
         self.health.forget(vm);
         self.epoch += 1;
+        #[cfg(feature = "verify")]
+        self.check_invariants();
     }
 
     /// Mark a VM down (crash detected): its cached routes are
@@ -187,6 +194,8 @@ impl MlbRouter {
     pub fn mark_up(&mut self, vm: VmId) {
         self.health.mark_up(vm);
         self.epoch += 1;
+        #[cfg(feature = "verify")]
+        self.check_invariants();
     }
 
     /// Is the VM currently marked down?
@@ -303,6 +312,30 @@ impl MlbRouter {
             let slot = self.route_cache[slot_idx];
             if slot.epoch == self.epoch && slot.m_tmsi == m_tmsi {
                 self.stats.route_cache_hits += 1;
+                // Verify mode re-derives every cache hit from the ring:
+                // a mismatch means an epoch bump was missed somewhere.
+                #[cfg(feature = "verify")]
+                {
+                    // Recompute from scratch — bypassing the position
+                    // memo both audits it and leaves its hit/miss
+                    // counters untouched.
+                    let pos = position_of(&self.guti(m_tmsi).to_bytes());
+                    let mut fresh = [0 as VmId; MAX_CACHED_R];
+                    let mut fn_ = 0usize;
+                    self.ring
+                        .replicas_each(pos, self.replication.min(MAX_CACHED_R), |vm| {
+                            fresh[fn_] = *vm;
+                            fn_ += 1;
+                        });
+                    assert!(
+                        fn_ == slot.n as usize && fresh[..fn_] == slot.holders[..fn_],
+                        "route cache hit for m_tmsi {m_tmsi} is stale at epoch {}: \
+                         cached {:?}, ring says {:?}",
+                        self.epoch,
+                        &slot.holders[..slot.n as usize],
+                        &fresh[..fn_]
+                    );
+                }
                 return (slot.holders, slot.n as usize);
             }
         }
@@ -343,6 +376,7 @@ impl MlbRouter {
     }
 
     /// Replica holders of a GUTI: master first, then ring successors.
+    // lint: allow(alloc): allocating convenience API — the hot path is holders_cached
     pub fn holders(&self, m_tmsi: u32) -> Vec<VmId> {
         let guti = self.guti(m_tmsi);
         let mut out = Vec::with_capacity(self.replication.min(self.ring.len()));
@@ -443,6 +477,60 @@ impl MlbRouter {
     /// `scale_mlb_epoch_bumps_total` metric.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Audit the router's cross-structure coherence, panicking on any
+    /// violation. Called after every membership or liveness mutation
+    /// when the `verify` feature is on.
+    ///
+    /// Checks: the ring's own invariants; load slots are finite and
+    /// non-negative (a NaN EWMA would silently win or lose every
+    /// least-loaded comparison); and every route-cache slot stamped
+    /// with the *current* epoch holds a distinct, correctly-sized
+    /// subset of the current ring membership hashed to that slot index.
+    // lint: allow(alloc): verify-feature audit, never on the routing path
+    #[cfg(feature = "verify")]
+    pub fn check_invariants(&self) {
+        self.ring.check_invariants();
+        assert!(self.epoch >= 1, "epoch 0 is the empty-slot sentinel");
+        for (vm, load) in self.loads.iter().enumerate() {
+            assert!(
+                load.ewma.is_finite() && load.ewma >= 0.0,
+                "VM {vm} has corrupt EWMA load {}",
+                load.ewma
+            );
+        }
+        let members = self.ring.nodes();
+        for (idx, slot) in self.route_cache.iter().enumerate() {
+            if slot.epoch != self.epoch {
+                continue; // stale or empty slot: ignored by lookups
+            }
+            assert_eq!(
+                (slot.m_tmsi as usize) & (self.route_cache.len() - 1),
+                idx,
+                "route slot {idx} caches m_tmsi {} hashed elsewhere",
+                slot.m_tmsi
+            );
+            let n = slot.n as usize;
+            assert!(
+                n <= self.replication.min(MAX_CACHED_R) && n <= members.len(),
+                "route slot {idx} holds {n} holders with R={} and {} VMs",
+                self.replication,
+                members.len()
+            );
+            let holders = &slot.holders[..n];
+            for (i, vm) in holders.iter().enumerate() {
+                assert!(
+                    members.contains(vm),
+                    "route slot {idx} (epoch {}) caches departed VM {vm}",
+                    slot.epoch
+                );
+                assert!(
+                    !holders[..i].contains(vm),
+                    "route slot {idx} repeats holder {vm}"
+                );
+            }
+        }
     }
 
     /// Position-memo `(hits, misses)` counters, for instrumentation.

@@ -43,7 +43,7 @@ pub fn aes_cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
     let mut x = [0u8; 16];
     // All blocks but the last.
     for i in 0..n_blocks - 1 {
-        let mut block: [u8; 16] = msg[i * 16..i * 16 + 16].try_into().unwrap();
+        let mut block: [u8; 16] = crate::take(&msg[i * 16..]);
         for (b, xv) in block.iter_mut().zip(x.iter()) {
             *b ^= xv;
         }
@@ -81,7 +81,7 @@ pub fn eia2_mac(key: &[u8; 16], count: u32, bearer: u8, downlink: bool, msg: &[u
     buf.extend_from_slice(&[0, 0, 0]);
     buf.extend_from_slice(msg);
     let tag = aes_cmac(key, &buf);
-    tag[..4].try_into().unwrap()
+    crate::take(&tag)
 }
 
 #[cfg(test)]

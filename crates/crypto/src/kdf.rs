@@ -66,7 +66,7 @@ pub fn derive_kasme(ck: &[u8; 16], ik: &[u8; 16], plmn: &[u8; 3], sqn_xor_ak: &[
 /// per TS 33.401 A.7: the low-order 128 bits of the 256-bit KDF output.
 pub fn derive_alg_key(kasme: &[u8; 32], ty: AlgKeyType, alg_id: u8) -> [u8; 16] {
     let out = kdf(kasme, FC_ALG_KEY, &[&[ty.distinguisher()], &[alg_id]]);
-    out[16..].try_into().unwrap()
+    crate::take(&out[16..])
 }
 
 /// Everything the MME stores for one NAS security context, derived in one

@@ -20,6 +20,8 @@
 //! block operations), and `scale-bench` measures them so the per-request
 //! compute model in the simulator is grounded in real numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod cmac;
 pub mod hmac;
@@ -27,6 +29,17 @@ pub mod kdf;
 pub mod md5;
 pub mod milenage;
 pub mod sha256;
+
+/// Copy the first `N` bytes of `src` into an array. All callers pass
+/// slices whose length is fixed by the algorithm (digest widths, block
+/// sizes), so the length check in `copy_from_slice` is statically
+/// satisfied — this replaces `try_into().unwrap()` noise at every
+/// digest-slicing site.
+pub fn take<const N: usize>(src: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&src[..N]);
+    out
+}
 
 /// Render bytes as lowercase hex.
 pub fn hex(bytes: &[u8]) -> String {

@@ -121,7 +121,7 @@ impl Md5 {
         let mut state = INIT;
         let mut chunks = data.chunks_exact(64);
         for block in chunks.by_ref() {
-            compress(&mut state, block.try_into().unwrap());
+            compress(&mut state, &crate::take(block));
         }
         let tail = chunks.remainder();
         let mut block = [0u8; 64];
@@ -153,7 +153,7 @@ fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
     let k = k_table();
     let mut m = [0u32; 16];
     for (i, chunk) in block.chunks_exact(4).enumerate() {
-        m[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        m[i] = u32::from_le_bytes(crate::take(chunk));
     }
     let [mut a, mut b, mut c, mut d] = *state;
     for i in 0..64 {
@@ -184,7 +184,7 @@ fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
 /// (big-endian over the first 8 digest bytes).
 pub fn md5_u64(data: &[u8]) -> u64 {
     let d = Md5::digest(data);
-    u64::from_be_bytes(d[..8].try_into().unwrap())
+    u64::from_be_bytes(crate::take(&d))
 }
 
 #[cfg(test)]

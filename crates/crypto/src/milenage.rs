@@ -123,8 +123,8 @@ impl Milenage {
             &self.opc,
         );
         MacPair {
-            mac_a: out1[..8].try_into().unwrap(),
-            mac_s: out1[8..].try_into().unwrap(),
+            mac_a: crate::take(&out1),
+            mac_s: crate::take(&out1[8..]),
         }
     }
 
@@ -145,10 +145,10 @@ impl Milenage {
             &self.opc,
         );
         F2345 {
-            res: out2[8..16].try_into().unwrap(),
+            res: crate::take(&out2[8..]),
             ck: out3,
             ik: out4,
-            ak: out2[..6].try_into().unwrap(),
+            ak: crate::take(&out2),
         }
     }
 
@@ -160,7 +160,7 @@ impl Milenage {
             &self.aes.encrypt(&xor16(&rot128(&base, R5), &c(5))),
             &self.opc,
         );
-        out5[..6].try_into().unwrap()
+        crate::take(&out5)
     }
 }
 

@@ -136,7 +136,12 @@ impl Avp {
                 value: self.data.len() as u64,
             });
         }
-        Ok(u32::from_be_bytes(self.data[..].try_into().unwrap()))
+        Ok(u32::from_be_bytes([
+            self.data[0],
+            self.data[1],
+            self.data[2],
+            self.data[3],
+        ]))
     }
 
     /// Interpret payload as UTF-8.

@@ -6,6 +6,8 @@
 //! serving node with ULR/ULA. SCALE's MLB terminates S6 unchanged
 //! (§4.1 of the paper) and forwards to the owning MMP.
 
+#![forbid(unsafe_code)]
+
 mod avp;
 mod msg;
 

@@ -37,7 +37,7 @@ pub struct Hss {
 /// the UE model derives the same K so USIM and HSS agree).
 pub fn provision_k(imsi: &str) -> [u8; 16] {
     let d = scale_crypto::sha256::Sha256::digest(format!("K:{imsi}").as_bytes());
-    d[..16].try_into().unwrap()
+    scale_crypto::take(&d)
 }
 
 /// The operator constant OP shared by all subscribers in this network.
@@ -87,7 +87,7 @@ impl Hss {
         let sub = self.subscribers.get_mut(imsi)?;
         let mut rand_bytes = [0u8; 16];
         self.rng.fill(&mut rand_bytes);
-        let sqn_bytes: [u8; 6] = sub.sqn.to_be_bytes()[2..8].try_into().unwrap();
+        let sqn_bytes: [u8; 6] = scale_crypto::take(&sub.sqn.to_be_bytes()[2..]);
         sub.sqn += 1;
 
         let mil = Milenage::from_opc(&sub.k, sub.opc);
@@ -101,7 +101,7 @@ impl Hss {
         autn[6..8].copy_from_slice(&AMF);
         autn[8..16].copy_from_slice(&macs.mac_a);
 
-        let sqn_xor_ak: [u8; 6] = autn[..6].try_into().unwrap();
+        let sqn_xor_ak: [u8; 6] = scale_crypto::take(&autn);
         let kasme = derive_kasme(&out.ck, &out.ik, plmn, &sqn_xor_ak);
         self.vectors_issued += 1;
         Some(EutranVector {

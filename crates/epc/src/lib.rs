@@ -12,6 +12,8 @@
 //! - [`harness`] — an in-process network wiring all of the above around
 //!   any [`harness::ControlPlane`] (bare MME, legacy pool, or SCALE).
 
+#![forbid(unsafe_code)]
+
 pub mod enodeb;
 pub mod harness;
 pub mod hss;

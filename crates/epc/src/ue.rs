@@ -145,15 +145,12 @@ impl Ue {
     /// Process one downlink NAS message; produce follow-up events.
     pub fn handle_nas(&mut self, wire: Bytes) -> Result<Vec<UeEvent>, NasError> {
         let msg = if is_protected(&wire) {
-            if self.sec.is_none() {
+            match self.sec.as_mut() {
                 // First protected message is the SMC establishing the
                 // context; it needs the keys derived during AKA.
-                return self.handle_initial_smc(wire);
+                None => return self.handle_initial_smc(wire),
+                Some(sec) => sec.unprotect(wire, Direction::Downlink)?,
             }
-            self.sec
-                .as_mut()
-                .unwrap()
-                .unprotect(wire, Direction::Downlink)?
         } else {
             EmmMessage::decode(wire)?
         };
@@ -207,7 +204,7 @@ impl Ue {
                     ]);
                 }
                 // Derive K_ASME and park the NAS keys until the SMC.
-                let sqn_xor_ak: [u8; 6] = autn[..6].try_into().unwrap();
+                let sqn_xor_ak: [u8; 6] = scale_crypto::take(&autn[..6]);
                 let kasme = derive_kasme(&out.ck, &out.ik, &self.plmn.0, &sqn_xor_ak);
                 self.pending_keys = Some(NasSecurityKeys {
                     kasme,

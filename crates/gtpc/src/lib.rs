@@ -16,6 +16,8 @@
 //! assert_eq!(Message::decode(bytes).unwrap(), echo);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ie;
 mod msg;
 mod wire;

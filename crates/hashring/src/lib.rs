@@ -16,6 +16,8 @@
 //!   across many peers instead of a single successor, avoiding the
 //!   pairwise overload of the SIMPLE baseline (Fig 9).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 mod ring;

@@ -15,6 +15,8 @@
 //! compression. The seed `BTreeMap` implementation survives in
 //! [`reference`] as the oracle for equivalence tests and the "before"
 //! baseline of the routing benchmarks.
+//!
+//! lint: hot-path
 
 use scale_crypto::md5::Md5;
 use std::fmt;
@@ -77,11 +79,17 @@ impl<const LEN: usize> RingKey for [u8; LEN] {
     }
 }
 
+/// Big-endian u64 prefix of a 16-byte MD5 digest — fixed-width array
+/// indexing, no fallible slice conversion.
+fn digest_prefix(d: &[u8; 16]) -> u64 {
+    u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]])
+}
+
 /// Hash arbitrary bytes to a 64-bit ring position (big-endian prefix of
 /// the MD5 digest, matching the prototype's use of MD5).
 pub fn ring_position(bytes: &[u8]) -> u64 {
     let d = Md5::digest(bytes);
-    u64::from_be_bytes(d[..8].try_into().unwrap())
+    digest_prefix(&d)
 }
 
 /// Ring position of a key: serialize on the stack, hash, truncate.
@@ -101,7 +109,7 @@ fn token_position(node_bytes: &[u8], idx: u32, salt: u32) -> u64 {
         ctx.update(&salt.to_be_bytes());
     }
     let d = ctx.finalize();
-    u64::from_be_bytes(d[..8].try_into().unwrap())
+    digest_prefix(&d)
 }
 
 /// A consistent hash ring mapping 64-bit positions to nodes of type `N`.
@@ -142,6 +150,7 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
     /// Create an empty ring with `tokens` virtual nodes per physical node.
     /// `tokens = 1` degenerates to "basic consistent hashing without
     /// tokens", the baseline contrasted in Fig 10(a).
+    // lint: allow(alloc): cold constructor
     pub fn new(tokens: u32) -> Self {
         assert!(tokens >= 1, "at least one token per node");
         HashRing {
@@ -197,6 +206,8 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
             }
         }
         self.nodes.push(node);
+        #[cfg(feature = "verify")]
+        self.check_invariants();
     }
 
     /// Remove a node and all its token points. Returns true if present.
@@ -215,7 +226,72 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
                 p.1 -= 1;
             }
         }
+        #[cfg(feature = "verify")]
+        self.check_invariants();
         true
+    }
+
+    /// Audit the ring's structural invariants, panicking on violation.
+    /// Called automatically after every mutation when the `verify`
+    /// feature is on; callable directly from tests and chaos harnesses.
+    ///
+    /// Checks: the point store is strictly sorted (binary-searchable,
+    /// no position collisions), every point maps to a live node, every
+    /// node owns exactly `tokens` points, node identities are distinct,
+    /// and replica walks from each token position yield `min(r, nodes)`
+    /// distinct holders with the arc owner first.
+    // lint: allow(alloc): verify-feature audit, never on the routing path
+    #[cfg(feature = "verify")]
+    pub fn check_invariants(&self) {
+        assert!(
+            self.points.windows(2).all(|w| w[0].0 < w[1].0),
+            "ring points not strictly sorted: binary search is broken"
+        );
+        let mut per_node = vec![0u32; self.nodes.len()];
+        for &(pos, node_idx) in &self.points {
+            assert!(
+                (node_idx as usize) < self.nodes.len(),
+                "point {pos:#x} references node index {node_idx} of {}",
+                self.nodes.len()
+            );
+            per_node[node_idx as usize] += 1;
+        }
+        for (idx, &count) in per_node.iter().enumerate() {
+            assert_eq!(
+                count, self.tokens,
+                "node index {idx} owns {count} points, expected {}",
+                self.tokens
+            );
+        }
+        for (i, a) in self.nodes.iter().enumerate() {
+            assert!(
+                !self.nodes[..i].contains(a),
+                "duplicate node at index {i}"
+            );
+        }
+        // Replica walks: min(r, nodes) distinct holders, master first.
+        let sample: Vec<u64> = self.points.iter().take(16).map(|p| p.0).collect();
+        for pos in sample {
+            for r in 1..=self.nodes.len().min(4) {
+                let reps = self.replicas_at(pos, r);
+                assert_eq!(
+                    reps.len(),
+                    r.min(self.nodes.len()),
+                    "replica walk at {pos:#x} returned {} of {r} holders",
+                    reps.len()
+                );
+                for (i, a) in reps.iter().enumerate() {
+                    assert!(
+                        !reps[..i].contains(a),
+                        "replica walk at {pos:#x} repeated a holder"
+                    );
+                }
+                assert!(
+                    reps.first().copied() == self.node_at(pos),
+                    "replica walk at {pos:#x} does not start at the arc owner"
+                );
+            }
+        }
     }
 
     /// The node owning ring position `pos`: first token at or clockwise
@@ -242,6 +318,7 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
     }
 
     /// As [`Self::replicas`], starting from an explicit ring position.
+    // lint: allow(alloc): allocating convenience API — the hot path is replicas_each
     pub fn replicas_at(&self, pos: u64, r: usize) -> Vec<&N> {
         let mut out = Vec::with_capacity(r.min(self.nodes.len()));
         self.replicas_each(pos, r, |n| out.push(n));
@@ -262,7 +339,7 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
         let seen: &mut [u32] = if want <= seen_inline.len() {
             &mut seen_inline
         } else {
-            seen_heap = vec![0u32; want];
+            seen_heap = vec![0u32; want]; // lint: allow(alloc): fallback for r > 16, unreachable at paper scale (R=2)
             &mut seen_heap
         };
         let start = self.points.partition_point(|p| p.0 < pos);
@@ -291,6 +368,7 @@ impl<N: Clone + Eq + Ord + RingKey> HashRing<N> {
     /// position lies in the half-open arc `(start, end]` walking
     /// clockwise (with wrap-around on the final arc). Used to compute the
     /// state-transfer set when VMs are added or removed.
+    // lint: allow(alloc): cold re-provisioning path, not per-message routing
     pub fn arcs(&self) -> Vec<(u64, u64, &N)> {
         if self.points.is_empty() {
             return Vec::new();
@@ -333,6 +411,7 @@ pub struct PositionCache {
 
 impl PositionCache {
     /// Cache with `capacity` slots, rounded up to a power of two.
+    // lint: allow(alloc): cold constructor
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(1).next_power_of_two();
         PositionCache {
@@ -371,6 +450,7 @@ impl PositionCache {
 /// differs between the rings, with `(key, old_owner, new_owner)`. SCALE
 /// uses this during epoch re-provisioning to enumerate the device states
 /// that must be transferred between MMPs.
+// lint: allow(alloc): cold re-provisioning path, not per-message routing
 pub fn moved_keys<'a, N, K, I>(
     old: &'a HashRing<N>,
     new: &'a HashRing<N>,
@@ -393,6 +473,7 @@ where
     out
 }
 
+// lint: allow(alloc, unwrap): seed implementation preserved verbatim as oracle/baseline
 pub mod reference {
     //! The seed ring implementation — `BTreeMap` point store, heap-
     //! allocated key bytes, streaming MD5 — kept verbatim as (a) the

@@ -1,0 +1,26 @@
+//! A clean file: every rule's token appears only in positions the
+//! analyzer must ignore (comments, strings, test scopes, allows).
+
+pub fn parse(input: &str) -> Option<u64> {
+    // Comments mentioning .unwrap() or SystemTime::now are fine.
+    let banner = "calling .unwrap() or thread_rng here is just a string";
+    input.parse::<u64>().ok().filter(|_| !banner.is_empty())
+}
+
+// lint: allow(unwrap): invariant — the regex below is statically valid
+pub fn allowed_item(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn trailing_allow(v: Option<u64>) -> u64 {
+    v.unwrap() // lint: allow(unwrap): caller guarantees Some
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

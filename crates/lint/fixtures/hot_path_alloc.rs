@@ -1,0 +1,7 @@
+//! Seeded violation: allocation in a hot-path module.
+//! lint: hot-path
+
+pub fn route(keys: &[u64]) -> usize {
+    let scratch: Vec<u64> = Vec::new();
+    scratch.len() + keys.len()
+}

@@ -1,0 +1,10 @@
+//! Seeded violation: metric names breaking the
+//! `scale_<crate>_<noun>_<unit>` convention.
+
+pub fn register(reg: &Registry) {
+    reg.counter("attach_count", "missing scale_ prefix and _total suffix");
+    reg.histogram("scale_mme_attach_latency", "histogram without _us suffix");
+    reg.gauge("scale_mlb_load_total", "gauge borrowing the counter suffix");
+}
+
+pub struct Registry;

@@ -1,0 +1,7 @@
+//! Seeded violation: ambient wall-clock as data.
+
+pub fn stamp() -> std::time::Duration {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+}

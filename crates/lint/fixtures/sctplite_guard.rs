@@ -1,0 +1,7 @@
+//! Seeded violation: blocking lock guard held across `.await`.
+
+pub async fn flush(state: &std::sync::Mutex<u64>, io: impl std::future::Future<Output = ()>) {
+    let guard = state.lock();
+    io.await;
+    drop(guard);
+}

@@ -1,0 +1,5 @@
+//! Seeded violation: `unwrap()` in non-test library code.
+
+pub fn parse(input: &str) -> u64 {
+    input.parse::<u64>().unwrap()
+}

@@ -1,0 +1,188 @@
+//! `scale-lint` — the repo's in-tree source analyzer.
+//!
+//! SCALE's performance and resilience claims rest on properties that
+//! ordinary compilation cannot enforce: the routing hot path must stay
+//! allocation-free, library code must not panic on malformed input,
+//! experiments must be seed-deterministic, and async transport code
+//! must not hold blocking locks across suspension points. Since this
+//! build environment is offline (no external lint crates beyond
+//! clippy), the analyzer is built in-repo: a string/comment-aware
+//! scanner ([`scan`]) plus token-shaped rule passes ([`rules`]).
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p scale-lint -- --workspace
+//! ```
+//!
+//! Exit status is non-zero when any violation is found. Individual
+//! findings can be waived with `// lint: allow(<rule>): <reason>`
+//! either trailing the offending line or on its own line before the
+//! offending item — the reason is mandatory by convention and reviewed
+//! like any other code.
+
+#![forbid(unsafe_code)]
+
+pub mod rules;
+pub mod scan;
+
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: vendored shims are external code, target
+/// is build output, fixtures are deliberately-broken lint test inputs.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git"];
+
+/// Recursively collect the workspace's `.rs` files, sorted for stable
+/// report ordering.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint every workspace source under `root`; returns all violations.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root) {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(rules::check_file(&rel, &src));
+    }
+    out
+}
+
+/// Collect every statically-registered metric name in the workspace
+/// (names with `{..}` wildcards included) — the cross-check set the
+/// runtime registry is audited against.
+pub fn registered_metric_names(root: &Path) -> Vec<String> {
+    let mut names = Vec::new();
+    for path in workspace_sources(root) {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let scanned = scan::scan(&src);
+        for (_, _, _, name) in rules::metric_registrations(&scanned) {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names
+}
+
+/// Does runtime metric name `concrete` match static pattern `pattern`
+/// (which may contain `{..}` wildcards standing for one id segment)?
+pub fn metric_pattern_matches(pattern: &str, concrete: &str) -> bool {
+    if !pattern.contains('{') {
+        return pattern == concrete;
+    }
+    // Split the pattern on wildcards and require the fragments to
+    // appear in order, anchored at both ends.
+    let mut fragments = Vec::new();
+    let mut rest = pattern;
+    while let Some(open) = rest.find('{') {
+        fragments.push(&rest[..open]);
+        match rest[open..].find('}') {
+            Some(close) => rest = &rest[open + close + 1..],
+            None => return false,
+        }
+    }
+    fragments.push(rest);
+    let mut pos = 0usize;
+    for (i, frag) in fragments.iter().enumerate() {
+        if frag.is_empty() {
+            continue;
+        }
+        match concrete[pos..].find(frag) {
+            Some(at) => {
+                if i == 0 && at != 0 {
+                    return false; // anchored start
+                }
+                pos += at + frag.len();
+            }
+            None => return false,
+        }
+    }
+    // Anchored end: the last fragment must reach the end (unless the
+    // pattern ends with a wildcard).
+    pattern.ends_with('}') || concrete.ends_with(fragments.last().copied().unwrap_or(""))
+}
+
+/// Find the workspace root: walk up from `start` until a `Cargo.toml`
+/// declaring `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Render violations in `path:line: [rule] message` form.
+pub fn report(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!("{}:{}: [{}] {}\n", v.path, v.line, v.rule, v.message));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_pattern_wildcards() {
+        assert!(metric_pattern_matches("scale_mlb_vm{vm}_load", "scale_mlb_vm7_load"));
+        assert!(metric_pattern_matches("scale_mlb_vm{vm}_load", "scale_mlb_vm255_load"));
+        assert!(!metric_pattern_matches("scale_mlb_vm{vm}_load", "scale_mlb_vm7_loads"));
+        assert!(!metric_pattern_matches("scale_mlb_vm{vm}_load", "scale_dc_vm7_load"));
+        assert!(metric_pattern_matches("scale_dc_messages_total", "scale_dc_messages_total"));
+        assert!(!metric_pattern_matches("scale_dc_messages_total", "scale_dc_messages"));
+    }
+
+    #[test]
+    fn workspace_walk_skips_vendor_and_fixtures() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("in workspace");
+        let files = workspace_sources(&root);
+        assert!(!files.is_empty());
+        for f in &files {
+            let p = f.to_string_lossy();
+            assert!(!p.contains("/vendor/"), "vendored file scanned: {p}");
+            assert!(!p.contains("/fixtures/"), "fixture scanned: {p}");
+            assert!(!p.contains("/target/"), "build output scanned: {p}");
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! The lint rules. Each rule is a pass over a [`Scanned`] file plus
+//! its [`Scopes`]; all report [`Violation`]s with stable rule names
+//! that the `// lint: allow(<rule>)` escape hatch refers to.
+//!
+//! Rule catalogue (rationale in DESIGN.md §11):
+//!
+//! | rule          | meaning                                                    |
+//! |---------------|------------------------------------------------------------|
+//! | `alloc`       | no allocation in `//! lint: hot-path` modules              |
+//! | `unwrap`      | no `unwrap()`/`expect()` in non-test library code          |
+//! | `nondet`      | no ambient time/randomness (`SystemTime::now`, `thread_rng`)|
+//! | `await-guard` | no blocking lock guard held across `.await` (sctplite)     |
+//! | `metric-name` | metric names follow `scale_<crate>_<noun>_<unit>`          |
+
+use crate::scan::{parse_allow, Scanned, Scopes};
+use std::path::Path;
+
+/// One reported lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule name (`alloc`, `unwrap`, ...).
+    pub rule: &'static str,
+    /// Human-readable description of the specific hit.
+    pub message: String,
+}
+
+/// What kind of source file this is; rules scope themselves by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` (the strictest tier).
+    Lib,
+    /// A binary under `src/bin/`.
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benchmarks under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// Classify a repo-relative path.
+pub fn classify(path: &Path) -> FileKind {
+    let p = path.to_string_lossy().replace('\\', "/");
+    if p.contains("/tests/") || p.starts_with("tests/") {
+        FileKind::Test
+    } else if p.contains("/benches/") || p.starts_with("benches/") {
+        FileKind::Bench
+    } else if p.contains("/examples/") || p.starts_with("examples/") {
+        FileKind::Example
+    } else if p.contains("/src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// True when the file opts into the hot-path allocation lint via an
+/// inner doc pragma `//! lint: hot-path`.
+pub fn is_hot_path(scanned: &Scanned) -> bool {
+    scanned
+        .comments
+        .iter()
+        .any(|c| c.inner_doc && c.text.trim() == "lint: hot-path")
+}
+
+/// Rules suppressed by a trailing `// lint: allow(x)` on this line.
+fn line_allows(scanned: &Scanned, line: usize) -> Vec<String> {
+    scanned
+        .comments
+        .iter()
+        .filter(|c| c.line == line && !c.own_line)
+        .filter_map(|c| parse_allow(&c.text))
+        .flatten()
+        .collect()
+}
+
+fn suppressed(scanned: &Scanned, scopes: &Scopes, line: usize, rule: &str) -> bool {
+    scopes.in_test.get(line).copied().unwrap_or(false)
+        || scopes.allows(line, rule)
+        || line_allows(scanned, line).iter().any(|r| r == rule || r == "all")
+}
+
+/// Substring match that requires the previous character to not be part
+/// of an identifier — so `seen_unwrap()` doesn't trip `unwrap()` and
+/// `recompute()` doesn't trip `compute()`.
+fn token_hit(code: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        let boundary = if needle.starts_with(['.', ' ']) {
+            true
+        } else {
+            at == 0
+                || !code[..at]
+                    .chars()
+                    .next_back()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false)
+        };
+        if boundary {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// `unwrap`: no `.unwrap()` / `.expect(` in non-test library code.
+pub fn check_unwrap(
+    path: &str,
+    kind: FileKind,
+    scanned: &Scanned,
+    scopes: &Scopes,
+    out: &mut Vec<Violation>,
+) {
+    if kind != FileKind::Lib {
+        return;
+    }
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        for needle in [".unwrap()", ".expect("] {
+            if token_hit(code, needle).is_some() && !suppressed(scanned, scopes, line, "unwrap") {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "unwrap",
+                    message: format!("`{needle}` in library code — return a typed error or restructure to be statically infallible"),
+                });
+            }
+        }
+    }
+}
+
+/// Allocation-shaped tokens banned in hot-path modules.
+const ALLOC_TOKENS: &[&str] = &[
+    ".clone()",
+    ".to_vec(",
+    ".to_string(",
+    ".to_owned(",
+    ".collect(",
+    "format!",
+    "vec!",
+    "String::from",
+    "String::new",
+    "String::with_capacity",
+    "Vec::new",
+    "Vec::with_capacity",
+    "Box::new",
+    "BTreeMap::new",
+    "HashMap::new",
+    "with_capacity",
+];
+
+/// `alloc`: no allocation calls in modules annotated `//! lint: hot-path`.
+pub fn check_alloc(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec<Violation>) {
+    if !is_hot_path(scanned) {
+        return;
+    }
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        for needle in ALLOC_TOKENS {
+            if token_hit(code, needle).is_some() && !suppressed(scanned, scopes, line, "alloc") {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "alloc",
+                    message: format!("`{needle}` allocates in a hot-path module — use stack scratch / reusable buffers, or mark the cold item `// lint: allow(alloc)`"),
+                });
+                break; // one report per line is enough
+            }
+        }
+    }
+}
+
+/// Nondeterminism sources banned outside `vendor/`.
+const NONDET_TOKENS: &[&str] = &[
+    "SystemTime::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+
+/// `nondet`: experiments must be seed-deterministic; ambient entropy
+/// and wall-clock-as-data are banned everywhere (`Instant::now` is
+/// allowed — measuring elapsed time is not data nondeterminism).
+pub fn check_nondet(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec<Violation>) {
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        for needle in NONDET_TOKENS {
+            if token_hit(code, needle).is_some() && !suppressed(scanned, scopes, line, "nondet") {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "nondet",
+                    message: format!("`{needle}` is nondeterministic — thread a seeded RNG / explicit clock through instead"),
+                });
+            }
+        }
+    }
+}
+
+/// `await-guard`: a guard from a *blocking* `.lock()`/`.read()`/`.write()`
+/// may not live across an `.await` (async mutexes acquired via
+/// `.lock().await` are exempt — they are designed to be held).
+pub fn check_await_guard(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec<Violation>) {
+    if !path.contains("sctplite") {
+        return;
+    }
+    #[derive(Debug)]
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        let acquires = [".lock()", ".read()", ".write()"]
+            .iter()
+            .any(|t| token_hit(code, t).is_some());
+        // `.lock().await` = async mutex: not a blocking guard.
+        let async_acquire = code.contains(".lock().await")
+            || code.contains(".read().await")
+            || code.contains(".write().await");
+        if acquires && !async_acquire && code.trim_start().starts_with("let ") {
+            let name = code
+                .trim_start()
+                .trim_start_matches("let ")
+                .trim_start_matches("mut ")
+                .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .next()
+                .unwrap_or("")
+                .to_string();
+            guards.push(Guard { name, depth, line });
+        }
+        if !async_acquire && code.contains(".await") {
+            for g in &guards {
+                if g.depth <= depth && !suppressed(scanned, scopes, line, "await-guard") {
+                    out.push(Violation {
+                        path: path.to_string(),
+                        line,
+                        rule: "await-guard",
+                        message: format!(
+                            "blocking lock guard `{}` (taken on line {}) is live across this `.await` — scope it or drop() it first",
+                            g.name, g.line
+                        ),
+                    });
+                }
+            }
+        }
+        // Explicit early drop releases the guard.
+        for g_idx in (0..guards.len()).rev() {
+            if code.contains(&format!("drop({})", guards[g_idx].name)) {
+                guards.remove(g_idx);
+            }
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    guards.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Registry methods whose first string argument is a metric name,
+/// paired with the unit suffix the kind mandates.
+const METRIC_METHODS: &[(&str, Option<&str>)] = &[
+    (".counter(", Some("_total")),
+    (".histogram(", Some("_us")),
+    (".series(", Some("_seconds")),
+    (".phased_series(", Some("_seconds")),
+    (".gauge(", None),
+];
+
+/// Does `name` follow `scale_<crate>_<noun>[_more]` with `{..}`
+/// placeholders treated as one alphanumeric run?
+fn well_formed_metric(name: &str) -> bool {
+    // Collapse `{...}` interpolations (dynamic id segments).
+    let mut flat = String::with_capacity(name.len());
+    let mut in_brace = false;
+    for c in name.chars() {
+        match c {
+            '{' => {
+                in_brace = true;
+                flat.push('x');
+            }
+            '}' => in_brace = false,
+            _ if in_brace => {}
+            _ => flat.push(c),
+        }
+    }
+    let parts: Vec<&str> = flat.split('_').collect();
+    parts.len() >= 2
+        && parts[0] == "scale"
+        && parts.iter().all(|p| {
+            !p.is_empty() && p.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        })
+}
+
+/// Collect `(line, method, mandated_suffix, name)` registration sites
+/// in one file: each `.counter("..")`-shaped call with its first string
+/// literal (the metric name). Calls whose name is built dynamically
+/// still resolve — the literal inside `&format!("scale_x_{id}_y")` is
+/// the next string token after the call and carries `{..}` wildcards.
+pub fn metric_registrations(
+    scanned: &Scanned,
+) -> Vec<(usize, &'static str, Option<&'static str>, String)> {
+    let mut sites = Vec::new();
+    // Byte offsets of each line start in the masked text (masked text
+    // is byte-identical in layout to the source).
+    let mut line_starts = vec![0usize];
+    for (i, b) in scanned.masked.bytes().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        let line_start = line_starts[idx];
+        for &(method, suffix) in METRIC_METHODS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(method) {
+                let at = from + rel;
+                let call_offset = line_start + at;
+                // The metric name is the first string literal after the
+                // call site; 300 bytes bounds the search to this call
+                // even with multi-line formatting. The gap between the
+                // opening paren and the literal must be only whitespace
+                // plus an optional `&format!(` wrapper — otherwise the
+                // hit is a no-arg accessor (`series()`) or a call whose
+                // name comes from a variable, not a registration.
+                let args_start = call_offset + method.len();
+                if let Some(s) = scanned
+                    .strings
+                    .iter()
+                    .find(|s| s.offset >= args_start && s.offset < call_offset + 300)
+                    .filter(|s| {
+                        let gap: String = scanned.masked[args_start..s.offset]
+                            .chars()
+                            .filter(|c| !c.is_whitespace())
+                            .collect();
+                        matches!(gap.as_str(), "" | "&format!(" | "format!(")
+                    })
+                {
+                    let method_name: &'static str = match method {
+                        ".counter(" => "counter",
+                        ".histogram(" => "histogram",
+                        ".series(" => "series",
+                        ".phased_series(" => "phased_series",
+                        _ => "gauge",
+                    };
+                    sites.push((line, method_name, suffix, s.text.clone()));
+                }
+                from = at + method.len();
+            }
+        }
+    }
+    sites
+}
+
+/// `metric-name`: registered metric names follow the scheme; unit
+/// suffix must match the metric kind.
+pub fn check_metric_names(
+    path: &str,
+    kind: FileKind,
+    scanned: &Scanned,
+    scopes: &Scopes,
+    out: &mut Vec<Violation>,
+) {
+    if !matches!(kind, FileKind::Lib | FileKind::Bin | FileKind::Example) {
+        return;
+    }
+    for (line, method, suffix, name) in metric_registrations(scanned) {
+        if suppressed(scanned, scopes, line, "metric-name") {
+            continue;
+        }
+        if !well_formed_metric(&name) {
+            out.push(Violation {
+                path: path.to_string(),
+                line,
+                rule: "metric-name",
+                message: format!(
+                    "metric `{name}` does not follow `scale_<crate>_<noun>_<unit>` (lowercase, underscore-separated, `scale_` prefix)"
+                ),
+            });
+            continue;
+        }
+        match suffix {
+            Some(unit) if !name.ends_with(unit) => out.push(Violation {
+                path: path.to_string(),
+                line,
+                rule: "metric-name",
+                message: format!("{method} metric `{name}` must end with `{unit}`"),
+            }),
+            None => {
+                // Gauges are unit-free points; they must not borrow
+                // another kind's suffix.
+                for unit in ["_total", "_us", "_seconds"] {
+                    if name.ends_with(unit) {
+                        out.push(Violation {
+                            path: path.to_string(),
+                            line,
+                            rule: "metric-name",
+                            message: format!(
+                                "gauge metric `{name}` must not end with `{unit}` (reserved for counters/histograms/series)"
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run every rule over one file.
+pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
+    let scanned = crate::scan::scan(src);
+    let scopes = crate::scan::scopes(&scanned);
+    let kind = classify(Path::new(path));
+    let mut out = Vec::new();
+    check_unwrap(path, kind, &scanned, &scopes, &mut out);
+    check_alloc(path, &scanned, &scopes, &mut out);
+    check_nondet(path, &scanned, &scopes, &mut out);
+    check_await_guard(path, &scanned, &scopes, &mut out);
+    check_metric_names(path, kind, &scanned, &scopes, &mut out);
+    out
+}

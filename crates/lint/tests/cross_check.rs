@@ -1,0 +1,80 @@
+//! Cross-check: every metric name a live system actually registers at
+//! runtime must (a) follow the `scale_<crate>_<noun>_<unit>` naming
+//! scheme and (b) be discoverable by the static scan — i.e. appear as a
+//! registration literal somewhere in the workspace sources. A runtime
+//! name the scanner can't see would mean the metric-name lint has a
+//! blind spot (a name built by string concatenation the `{..}` wildcard
+//! model doesn't cover).
+
+use scale_core::{ScaleConfig, ScaleDc};
+use scale_epc::Network;
+use scale_lint::{find_workspace_root, metric_pattern_matches, registered_metric_names};
+use scale_obs::{Entry, Registry};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Drive a small instrumented DC through attach + idle + crash/repair +
+/// epoch so the observer registers its full metric surface (including
+/// the dynamic per-VM gauges), then return the runtime registry
+/// contents.
+fn runtime_entries() -> Vec<Entry> {
+    let dc = ScaleDc::new(ScaleConfig {
+        initial_vms: 4,
+        ..Default::default()
+    });
+    let registry = Arc::new(Registry::new());
+    let mut net = Network::new(dc, 2);
+    net.cp.attach_observability(Arc::clone(&registry));
+    net.s1_setup();
+    let n_ues = 40;
+    for i in 0..n_ues {
+        net.add_ue(&format!("0010155{i:08}"), i % 2);
+    }
+    for ue in 0..n_ues {
+        assert!(net.attach(ue), "{:?}", net.errors);
+        assert!(net.go_idle(ue));
+    }
+    let crashed = net.cp.vm_ids()[0];
+    net.cp.crash_mmp(crashed);
+    net.cp.repair();
+    net.cp.run_epoch();
+    net.cp.publish_metrics();
+    registry.entries()
+}
+
+#[test]
+fn runtime_metric_names_follow_conventions_and_are_statically_visible() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let static_names = registered_metric_names(&root);
+    assert!(
+        !static_names.is_empty(),
+        "static scan found no registrations at all"
+    );
+
+    let entries = runtime_entries();
+    assert!(
+        entries.len() >= 20,
+        "expected a substantial metric surface, got {}",
+        entries.len()
+    );
+    for entry in entries {
+        let name = &entry.name;
+        assert!(
+            name.starts_with("scale_"),
+            "runtime metric `{name}` lacks the scale_ prefix"
+        );
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "runtime metric `{name}` is not lowercase snake_case"
+        );
+        let covered = static_names
+            .iter()
+            .any(|pattern| metric_pattern_matches(pattern, name));
+        assert!(
+            covered,
+            "runtime metric `{name}` matches no statically-scanned registration \
+             (static names: {static_names:?})"
+        );
+    }
+}

@@ -344,7 +344,7 @@ impl MmeCore {
         match event {
             Incoming::S1ap { enb_id, pdu } => self.handle_s1ap(enb_id, pdu),
             Incoming::S11(msg) => self.handle_s11(msg),
-            Incoming::S6a(msg) => self.handle_s6a(msg),
+            Incoming::S6a(msg) => self.handle_s6a(&msg),
         }
     }
 
@@ -371,10 +371,10 @@ impl MmeCore {
             } => self.uplink_nas(mme_ue_id, nas_pdu, tai),
             S1apPdu::InitialContextSetupResponse {
                 mme_ue_id, erabs, ..
-            } => self.context_setup_response(mme_ue_id, erabs),
+            } => self.context_setup_response(mme_ue_id, &erabs),
             S1apPdu::InitialContextSetupFailure { mme_ue_id, .. } => {
                 let m_tmsi = self.tmsi_of(mme_ue_id)?;
-                let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                 ctx.procedure = Procedure::None;
                 ctx.ecm = EcmState::Idle;
                 self.stats.rejects += 1;
@@ -414,6 +414,28 @@ impl MmeCore {
             .get(&mme_ue_id)
             .copied()
             .ok_or(MmeError::UnknownUe("mme_ue_id"))
+    }
+
+    /// UE context by M-TMSI. The id maps (`by_mme_ue_id`, `by_s11_teid`,
+    /// `by_imsi`) are kept in sync with `contexts`, so a resolved id
+    /// normally has a context — but a purge racing a resolved id must
+    /// surface as a protocol error, not a panic.
+    fn ctx(&self, m_tmsi: u32) -> Result<&UeContext, MmeError> {
+        self.contexts
+            .get(&m_tmsi)
+            .ok_or(MmeError::UnknownUe("m_tmsi without context"))
+    }
+
+    /// As [`Self::ctx_mut`], borrowing only the context map — for call
+    /// sites that update the sibling id maps while the context borrow
+    /// is live.
+    fn ctx_mut_in(
+        contexts: &mut HashMap<u32, UeContext>,
+        m_tmsi: u32,
+    ) -> Result<&mut UeContext, MmeError> {
+        contexts
+            .get_mut(&m_tmsi)
+            .ok_or(MmeError::UnknownUe("m_tmsi without context"))
     }
 
     fn initial_ue_message(
@@ -479,7 +501,7 @@ impl MmeCore {
             MobileId::Imsi(imsi) => {
                 // Fresh attach: allocate identity, fetch auth vectors.
                 let guti = if let Some(&m_tmsi) = self.by_imsi.get(&imsi) {
-                    self.contexts.get(&m_tmsi).unwrap().guti
+                    self.ctx(m_tmsi)?.guti
                 } else {
                     self.alloc_guti()
                 };
@@ -536,7 +558,7 @@ impl MmeCore {
                     }]);
                 }
                 let mme_ue_id = self.alloc_ue_id();
-                let ctx = self.contexts.get_mut(&guti.m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, guti.m_tmsi)?;
                 self.by_mme_ue_id.remove(&ctx.mme_ue_id);
                 ctx.mme_ue_id = mme_ue_id;
                 ctx.emm = EmmState::Registering;
@@ -555,7 +577,7 @@ impl MmeCore {
 
     fn create_session(&mut self, m_tmsi: u32, imsi: String) -> Result<Outgoing, MmeError> {
         let seq = self.next_s11_seq(m_tmsi);
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         ctx.bearer.s11_mme_teid = ctx.mme_ue_id;
         ctx.bearer.ebi = 5;
         self.by_s11_teid.insert(ctx.bearer.s11_mme_teid, m_tmsi);
@@ -609,12 +631,18 @@ impl MmeCore {
         ctx.enb_id = enb_id;
         ctx.enb_ue_id = enb_ue_id;
         ctx.record_access();
-        let kasme = ctx.security.as_ref().unwrap().keys.kasme;
+        let kasme = match ctx.security.as_ref() {
+            Some(sec) => sec.keys.kasme,
+            // Unreachable after the integrity check above accepted the
+            // message, but a missing context is a protocol error, not a
+            // crash.
+            None => return Err(MmeError::BadState("service request without security context".into())),
+        };
         let old_id = ctx.mme_ue_id;
         // Re-mint the S1AP id so Active-mode messages route to the VM
         // serving this Active period (§5 "Load Balancing").
         let new_id = self.alloc_ue_id();
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         ctx.mme_ue_id = new_id;
         self.by_mme_ue_id.remove(&old_id);
         self.by_mme_ue_id.insert(new_id, m_tmsi);
@@ -716,7 +744,7 @@ impl MmeCore {
     ) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
         let msg = {
-            let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+            let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
             if is_protected(&nas_pdu) {
                 let sec = ctx
                     .security
@@ -733,21 +761,21 @@ impl MmeCore {
             EmmMessage::AttachComplete => self.attach_complete(m_tmsi),
             EmmMessage::TauRequest { guti, tai } => {
                 let (enb_id, enb_ue_id) = {
-                    let ctx = self.contexts.get(&m_tmsi).unwrap();
+                    let ctx = self.ctx(m_tmsi)?;
                     (ctx.enb_id, ctx.enb_ue_id)
                 };
                 self.tau(enb_id, enb_ue_id, guti.m_tmsi, tai)
             }
             EmmMessage::DetachRequest { switch_off, .. } => {
                 let (enb_id, enb_ue_id) = {
-                    let ctx = self.contexts.get(&m_tmsi).unwrap();
+                    let ctx = self.ctx(m_tmsi)?;
                     (ctx.enb_id, ctx.enb_ue_id)
                 };
                 self.detach(enb_id, enb_ue_id, m_tmsi, switch_off)
             }
             EmmMessage::AuthenticationFailure { .. } => {
                 self.stats.auth_failures += 1;
-                let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                 ctx.procedure = Procedure::None;
                 ctx.emm = EmmState::Deregistered;
                 Ok(vec![])
@@ -759,7 +787,7 @@ impl MmeCore {
     }
 
     fn auth_response(&mut self, m_tmsi: u32, res: [u8; 8]) -> Result<Vec<Outgoing>, MmeError> {
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.procedure != Procedure::AwaitAuthResponse {
             return Err(MmeError::BadState("auth response out of sequence".into()));
         }
@@ -806,7 +834,7 @@ impl MmeCore {
 
     fn smc_complete(&mut self, m_tmsi: u32) -> Result<Vec<Outgoing>, MmeError> {
         let imsi = {
-            let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+            let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
             if ctx.procedure != Procedure::AwaitSmcComplete {
                 return Err(MmeError::BadState("SMC complete out of sequence".into()));
             }
@@ -838,7 +866,7 @@ impl MmeCore {
 
     fn finish_attach(&mut self, m_tmsi: u32) -> Result<Vec<Outgoing>, MmeError> {
         self.stats.attaches_completed += 1;
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         ctx.emm = EmmState::Registered;
         ctx.ecm = EcmState::Connected;
         ctx.procedure = Procedure::None;
@@ -851,11 +879,11 @@ impl MmeCore {
     fn context_setup_response(
         &mut self,
         mme_ue_id: u32,
-        erabs: Vec<ErabSetup>,
+        erabs: &[ErabSetup],
     ) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
         let seq = self.next_s11_seq(m_tmsi);
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.procedure != Procedure::AwaitContextSetup {
             return Err(MmeError::BadState("ICS response out of sequence".into()));
         }
@@ -878,7 +906,7 @@ impl MmeCore {
     fn release_request(&mut self, mme_ue_id: u32) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
         let seq = self.next_s11_seq(m_tmsi);
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         ctx.procedure = Procedure::AwaitReleaseComplete;
         let sgw_teid = ctx.bearer.s11_sgw_teid;
         let enb_id = ctx.enb_id;
@@ -905,7 +933,7 @@ impl MmeCore {
             // Release for a context we already removed (e.g. detach).
             return Ok(vec![]);
         };
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.procedure != Procedure::AwaitReleaseComplete {
             // Source-leg release after a handover (or a stray complete):
             // the device stays Active on the target side.
@@ -925,7 +953,7 @@ impl MmeCore {
         target_enb: u32,
     ) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.ecm != EcmState::Connected {
             return Err(MmeError::BadState("handover while not connected".into()));
         }
@@ -957,7 +985,7 @@ impl MmeCore {
         _erabs: Vec<ErabSetup>,
     ) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.procedure != Procedure::AwaitHandoverAck {
             return Err(MmeError::BadState("handover ack out of sequence".into()));
         }
@@ -987,7 +1015,7 @@ impl MmeCore {
     ) -> Result<Vec<Outgoing>, MmeError> {
         let m_tmsi = self.tmsi_of(mme_ue_id)?;
         let seq = self.next_s11_seq(m_tmsi);
-        let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+        let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
         if ctx.procedure != Procedure::AwaitHandoverNotify {
             return Err(MmeError::BadState("handover notify out of sequence".into()));
         }
@@ -1042,7 +1070,7 @@ impl MmeCore {
                     .ok_or(MmeError::UnknownUe("unmatched CS response"))?;
                 if !cause.is_accepted() {
                     self.stats.rejects += 1;
-                    let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                    let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                     ctx.procedure = Procedure::None;
                     ctx.emm = EmmState::Deregistered;
                     let enb_id = ctx.enb_id;
@@ -1059,7 +1087,7 @@ impl MmeCore {
                 let t3412 = self.config.t3412_s;
                 let apn = self.config.apn.clone();
                 let ambr = (self.config.ambr_ul_kbps, self.config.ambr_dl_kbps);
-                let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                 if let Some(f) = sender_fteid {
                     ctx.bearer.s11_sgw_teid = f.teid;
                 }
@@ -1132,7 +1160,7 @@ impl MmeCore {
                     return Ok(vec![]);
                 }
                 let is_registering = {
-                    let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                    let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                     if ctx.procedure != Procedure::AwaitModifyBearer {
                         return Err(MmeError::BadState("MB response out of sequence".into()));
                     }
@@ -1142,7 +1170,7 @@ impl MmeCore {
                     // Attach flow: needs Attach Complete too.
                     let flags = self.attach_done_flags.entry(m_tmsi).or_insert((false, false));
                     flags.1 = true;
-                    let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                    let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                     ctx.procedure = Procedure::AwaitAttachComplete;
                     if self.attach_done_flags[&m_tmsi].0 {
                         self.attach_done_flags.remove(&m_tmsi);
@@ -1151,7 +1179,7 @@ impl MmeCore {
                     Ok(vec![])
                 } else {
                     // Service request / handover flow completes here.
-                    let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                    let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                     ctx.ecm = EcmState::Connected;
                     ctx.procedure = Procedure::None;
                     Ok(vec![Outgoing::UeActive { guti: ctx.guti }])
@@ -1204,7 +1232,7 @@ impl MmeCore {
                     .by_s11_teid
                     .get(&msg.teid)
                     .ok_or(MmeError::UnknownUe("s11 teid"))?;
-                let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                 let mut out = vec![Outgoing::S11(gtpc::Message {
                     teid: ctx.bearer.s11_sgw_teid,
                     sequence: msg.sequence,
@@ -1240,15 +1268,15 @@ impl MmeCore {
 
     // ----- S6a ----------------------------------------------------------
 
-    fn handle_s6a(&mut self, msg: DiameterMsg) -> Result<Vec<Outgoing>, MmeError> {
-        let s6a = S6a::from_msg(&msg)?;
+    fn handle_s6a(&mut self, msg: &DiameterMsg) -> Result<Vec<Outgoing>, MmeError> {
+        let s6a = S6a::from_msg(msg)?;
         let m_tmsi = self
             .pending_s6a
             .remove(&msg.hop_by_hop)
             .ok_or(MmeError::UnknownUe("unmatched S6a answer"))?;
         match s6a {
             S6a::AuthInfoAnswer { result, vectors } => {
-                let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                 if ctx.procedure != Procedure::AwaitAuthVector {
                     return Err(MmeError::BadState("AIA out of sequence".into()));
                 }
@@ -1291,7 +1319,7 @@ impl MmeCore {
             }
             S6a::UpdateLocationAnswer { result, .. } => {
                 let imsi = {
-                    let ctx = self.contexts.get_mut(&m_tmsi).unwrap();
+                    let ctx = Self::ctx_mut_in(&mut self.contexts, m_tmsi)?;
                     if ctx.procedure != Procedure::AwaitUpdateLocation {
                         return Err(MmeError::BadState("ULA out of sequence".into()));
                     }

@@ -14,6 +14,8 @@
 //! `UeIdle`/`UeActive`/`UeAttached` lifecycle events the replication
 //! manager listens to.
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod engine;
 

@@ -66,10 +66,10 @@ impl Guti {
 
     pub fn from_bytes(b: &[u8; 10]) -> Self {
         Guti {
-            plmn: Plmn(b[..3].try_into().unwrap()),
-            mme_group_id: u16::from_be_bytes(b[3..5].try_into().unwrap()),
+            plmn: Plmn([b[0], b[1], b[2]]),
+            mme_group_id: u16::from_be_bytes([b[3], b[4]]),
             mme_code: b[5],
-            m_tmsi: u32::from_be_bytes(b[6..10].try_into().unwrap()),
+            m_tmsi: u32::from_be_bytes([b[6], b[7], b[8], b[9]]),
         }
     }
 

@@ -11,6 +11,8 @@
 //! message type codes and field semantics — everything SCALE's routing
 //! and processing logic depends on.
 
+#![forbid(unsafe_code)]
+
 pub mod emm;
 pub mod ids;
 pub mod security;

@@ -236,7 +236,8 @@ impl Snapshot {
 
     /// Render as pretty-printed JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| format!("{{\"error\":\"snapshot serialization failed: {e}\"}}"))
     }
 
     /// Parse a snapshot back from its JSON rendering.

@@ -40,6 +40,8 @@
 //! assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 mod export;

@@ -1,0 +1,83 @@
+//! Property tests pinning the histogram's accuracy contract and the
+//! exporter round trip.
+//!
+//! The log-linear `Histogram` promises every quantile within 6.25 %
+//! (one sub-bucket, 1/16 of an octave) of the true sample — that claim
+//! is what lets the experiments report p99s from 8 KB of buckets
+//! instead of retaining raw samples. Here the exact-sample [`Series`]
+//! is the oracle: both record the same values, and the histogram's
+//! answer must sit in `[exact, exact * 1.0625]` for every quantile at
+//! a thousand random workloads.
+
+use proptest::prelude::*;
+use scale_obs::{Histogram, Registry, Series, Snapshot};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Histogram quantiles never under-report and overshoot by at most
+    /// one sub-bucket (6.25 %) relative to the exact-sample oracle.
+    #[test]
+    fn quantile_within_bucket_bound(
+        values in proptest::collection::vec(0u64..2_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let hist = Histogram::new();
+        let exact = Series::new();
+        for &v in &values {
+            hist.record_us(v);
+            exact.push(v as f64);
+        }
+        let h = hist.quantile(q);
+        let e = exact.quantile(q);
+        prop_assert!(
+            h >= e,
+            "histogram under-reported q={q}: {h} < exact {e}"
+        );
+        prop_assert!(
+            h <= e * (1.0 + 1.0 / 16.0) + 1e-9,
+            "histogram overshot the 6.25% bound at q={q}: {h} vs exact {e}"
+        );
+        // The headline accessors agree with the general quantile.
+        prop_assert_eq!(hist.p99(), hist.quantile(0.99));
+        // Max is tracked exactly, not bucket-resolved.
+        prop_assert_eq!(hist.max_us(), *values.iter().max().unwrap());
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        prop_assert_eq!(hist.sum_us(), values.iter().sum::<u64>());
+    }
+
+    /// Snapshot → JSON → Snapshot is lossless for a registry holding
+    /// every metric kind with arbitrary recorded data.
+    #[test]
+    fn snapshot_json_round_trip(
+        counts in proptest::collection::vec(0u64..1_000_000, 1..8),
+        gauge_vals in proptest::collection::vec(0.0f64..1e9, 1..8),
+        lat in proptest::collection::vec(0u64..10_000_000, 1..50),
+        samples in proptest::collection::vec(0.0f64..1e6, 1..50),
+    ) {
+        let reg = Registry::new();
+        for (i, &c) in counts.iter().enumerate() {
+            reg.counter(&format!("scale_prop_c{i}_total"), "prop counter").add(c);
+        }
+        for (i, &g) in gauge_vals.iter().enumerate() {
+            reg.gauge(&format!("scale_prop_g{i}"), "prop gauge").set(g);
+        }
+        let h = reg.histogram("scale_prop_latency_us", "prop histogram");
+        for &v in &lat {
+            h.record_us(v);
+        }
+        let s = reg.series("scale_prop_delay_seconds", "prop series");
+        for &v in &samples {
+            s.push(v);
+        }
+        let snap = Snapshot::of(&reg);
+        let json = snap.to_json();
+        let parsed = Snapshot::from_json(&json);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed.err());
+        let back = parsed.unwrap();
+        prop_assert_eq!(&snap, &back, "round trip diverged");
+        // A second render of the parsed snapshot is byte-identical —
+        // the property that keeps results/*.json stable across runs.
+        prop_assert_eq!(json, back.to_json());
+    }
+}

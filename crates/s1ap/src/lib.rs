@@ -10,6 +10,8 @@
 //! message set matches the elementary procedures of TS 36.413 that the
 //! paper's experiments exercise.
 
+#![forbid(unsafe_code)]
+
 pub mod ie;
 pub mod pdu;
 

@@ -255,13 +255,15 @@ impl Association {
         ppid: u32,
         payload: Bytes,
     ) -> Result<(), SctpError> {
-        let expected = self.rx_seq.entry(stream_id).or_insert(0);
-        if seq < *expected {
+        // Work on a local copy of the expected sequence number and write
+        // it back once — avoids re-fetching the map entry mid-delivery.
+        let mut expected = *self.rx_seq.entry(stream_id).or_insert(0);
+        if seq < expected {
             // Duplicate of an already-delivered message: drop silently.
             return Ok(());
         }
-        if seq == *expected {
-            *expected += 1;
+        if seq == expected {
+            expected += 1;
             self.events.push_back(Event::Data {
                 stream_id,
                 ppid,
@@ -269,15 +271,15 @@ impl Association {
             });
             // Drain any buffered successors.
             let buf = self.reorder.entry(stream_id).or_default();
-            let expected = self.rx_seq.get_mut(&stream_id).unwrap();
-            while let Some((p, data)) = buf.remove(expected) {
-                *expected += 1;
+            while let Some((p, data)) = buf.remove(&expected) {
+                expected += 1;
                 self.events.push_back(Event::Data {
                     stream_id,
                     ppid: p,
                     payload: data,
                 });
             }
+            self.rx_seq.insert(stream_id, expected);
             return Ok(());
         }
         // Out of order: buffer within the window.
@@ -286,7 +288,7 @@ impl Association {
             return Err(SctpError::SequenceGap {
                 stream: stream_id,
                 got: seq,
-                expected: *self.rx_seq.get(&stream_id).unwrap(),
+                expected,
             });
         }
         buf.insert(seq, (ppid, payload));

@@ -17,6 +17,8 @@
 //! needs — message boundaries, multiple ordered streams, liveness probes
 //! — over TCP or in-process queues.
 
+#![forbid(unsafe_code)]
+
 pub mod assoc;
 pub mod chunk;
 pub mod memory;

@@ -514,12 +514,7 @@ impl ChaosSim {
             .copied()
             .filter(|&vm| self.routable[vm])
             .collect();
-        candidates.sort_by(|&a, &b| {
-            self.vms[a]
-                .backlog(now)
-                .partial_cmp(&self.vms[b].backlog(now))
-                .unwrap()
-        });
+        candidates.sort_by(|&a, &b| self.vms[a].backlog(now).total_cmp(&self.vms[b].backlog(now)));
 
         let service = self.cfg.costs.of(req.procedure);
         let mut elapsed = 0.0;

@@ -18,6 +18,8 @@
 //!   access-frequency cohorts and synchronous mass access;
 //! * [`metrics`] — percentiles, CDFs and CPU-trace time series.
 
+#![forbid(unsafe_code)]
+
 pub mod fault;
 pub mod geo;
 pub mod metrics;

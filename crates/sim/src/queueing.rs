@@ -268,11 +268,11 @@ impl DcSim {
                     .min_by(|a, b| {
                         self.vms[*a]
                             .backlog(req.time)
-                            .partial_cmp(&self.vms[*b].backlog(req.time))
-                            .unwrap()
-                    })
-                    .unwrap();
-                if self.vms[target].backlog(req.time) < policy.threshold_s / 2.0 {
+                            .total_cmp(&self.vms[*b].backlog(req.time))
+                    });
+                if let Some(target) =
+                    target.filter(|t| self.vms[*t].backlog(req.time) < policy.threshold_s / 2.0)
+                {
                     // Charge the reconnect + state-transfer signaling to
                     // both sides (Fig 2c's overhead).
                     self.vms[vm].serve(req.time, policy.signaling_s);

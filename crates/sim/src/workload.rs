@@ -121,7 +121,7 @@ pub fn device_stream(
             });
         }
     }
-    all.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    all.sort_by(|a, b| a.time.total_cmp(&b.time));
     all
 }
 
@@ -188,7 +188,7 @@ pub fn mass_access(
             procedure,
         })
         .collect();
-    out.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+    out.sort_by(|a, b| a.time.total_cmp(&b.time));
     out
 }
 

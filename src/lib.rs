@@ -1,4 +1,6 @@
 //! Umbrella crate: re-exports the SCALE workspace crates for examples/tests.
+
+#![forbid(unsafe_code)]
 pub use scale_analysis as analysis;
 pub use scale_core as core;
 pub use scale_crypto as crypto;

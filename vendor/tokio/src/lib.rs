@@ -54,7 +54,7 @@ pub mod task {
     }
 
     impl JoinError {
-        pub(crate) fn panicked(payload: Box<dyn std::any::Any + Send>) -> Self {
+        pub(crate) fn panicked(payload: &(dyn std::any::Any + Send)) -> Self {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -125,7 +125,7 @@ where
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             runtime::block_on(fut)
         }))
-        .map_err(task::JoinError::panicked);
+        .map_err(|payload| task::JoinError::panicked(payload.as_ref()));
         let mut st = shared.lock().unwrap();
         st.result = Some(result);
         if let Some(w) = st.waker.take() {
