@@ -49,6 +49,10 @@ pub enum Instr {
     /// `locals[reg] = cells[cell]` — an atomic load into a thread-local
     /// register (what a snapshot reader does per field).
     Load { cell: usize, reg: usize },
+    /// `cells[cell] = locals[reg]` — publish a previously loaded value
+    /// (a reader announcing the epoch it last observed, the handshake
+    /// epoch-based retirement waits on).
+    StoreReg { cell: usize, reg: usize },
     /// Acquire a mutex modeled as a cell (0 = free). Blocks (the
     /// scheduler will not pick this thread) while held by another.
     Lock { cell: usize },
@@ -81,6 +85,7 @@ pub fn step(instr: Instr, tid: usize, cells: &mut [u64], locals: &mut [u64]) -> 
         Instr::Store { cell, v } => cells[cell] = v,
         Instr::FetchMax { cell, v } => cells[cell] = cells[cell].max(v),
         Instr::Load { cell, reg } => locals[reg] = cells[cell],
+        Instr::StoreReg { cell, reg } => cells[cell] = locals[reg],
         Instr::Lock { cell } => {
             if cells[cell] != 0 {
                 return Outcome::Blocked;

@@ -13,6 +13,11 @@
 //! * [`provision`](mod@provision) — Eq 1–3: VM provisioning, β, access-aware allocation;
 //! * [`geo`] — geo-multiplexing budgets and the delay-weighted remote-DC
 //!   selector (§4.5.2);
+//! * [`routeplane`] — the lock-free shared routing plane: an
+//!   epoch-published [`RouteSnapshot`] behind the vendored arc-swap,
+//!   with per-thread cached readers and a relaxed-atomic load table;
+//! * [`shard`] — per-worker MMP engine groups with exclusive context
+//!   ownership; cross-shard procedures travel as [`ShardMsg`] values;
 //! * [`baseline`] — the legacy 3GPP pool comparator (§3.1).
 //!
 //! `ScaleDc` and `LegacyPool` both implement `scale_epc::ControlPlane`,
@@ -31,6 +36,8 @@ pub mod geo;
 pub mod mlb;
 pub mod obs;
 pub mod provision;
+pub mod routeplane;
+pub mod shard;
 
 pub use baseline::{LegacyPool, PoolMember, PoolStats};
 pub use cluster::{DcStats, EpochReport, RepairReport, ScaleConfig, ScaleDc};
@@ -45,3 +52,5 @@ pub use provision::{
     beta, provision, replica_probability, Allocation, AllocationPolicy, LoadEstimator,
     Provisioning, VmCapacity,
 };
+pub use routeplane::{LoadTable, RoutePlane, RouteReader, RouteSnapshot, MAX_R};
+pub use shard::{Shard, ShardConfig, ShardMsg, ShardStats, ShardStatsSnapshot};

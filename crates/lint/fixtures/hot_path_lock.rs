@@ -1,0 +1,10 @@
+//! Seeded violation: blocking lock acquired in a hot-path module.
+//! lint: hot-path
+
+pub fn route(table: &std::sync::Mutex<u64>) -> u64 {
+    let guard = table.lock();
+    match guard {
+        Ok(v) => *v,
+        Err(_) => 0,
+    }
+}

@@ -41,6 +41,7 @@ fn run_workspace() -> ExitCode {
 /// Each fixture file is named for the single rule it must trip.
 const FIXTURES: &[(&str, &str)] = &[
     ("hot_path_alloc.rs", "alloc"),
+    ("hot_path_lock.rs", "hot-path-lock"),
     ("unwrap_in_lib.rs", "unwrap"),
     ("nondet.rs", "nondet"),
     ("sctplite_guard.rs", "await-guard"),

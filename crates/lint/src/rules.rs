@@ -7,6 +7,7 @@
 //! | rule          | meaning                                                    |
 //! |---------------|------------------------------------------------------------|
 //! | `alloc`       | no allocation in `//! lint: hot-path` modules              |
+//! | `hot-path-lock` | no `Mutex`/`RwLock` acquisition in hot-path modules      |
 //! | `unwrap`      | no `unwrap()`/`expect()` in non-test library code          |
 //! | `nondet`      | no ambient time/randomness (`SystemTime::now`, `thread_rng`)|
 //! | `await-guard` | no blocking lock guard held across `.await` (sctplite)     |
@@ -170,6 +171,46 @@ pub fn check_alloc(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec
                     line,
                     rule: "alloc",
                     message: format!("`{needle}` allocates in a hot-path module — use stack scratch / reusable buffers, or mark the cold item `// lint: allow(alloc)`"),
+                });
+                break; // one report per line is enough
+            }
+        }
+    }
+}
+
+/// Lock-acquisition-shaped tokens banned in hot-path modules: routing
+/// reads must stay lock-free (epoch-published snapshots + relaxed
+/// atomics); a mutex on the read path serializes every worker behind
+/// one cache line and caps scale-out flat.
+const LOCK_TOKENS: &[&str] = &[
+    ".lock()",
+    ".read()",
+    ".write()",
+    "Mutex::new",
+    "RwLock::new",
+];
+
+/// `hot-path-lock`: no `Mutex`/`RwLock` construction or acquisition in
+/// modules annotated `//! lint: hot-path`. Writer-side serialization
+/// belongs in a non-hot-path module (or the vendored arc-swap, whose
+/// writer mutex is never on the read path).
+pub fn check_hot_path_lock(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec<Violation>) {
+    if !is_hot_path(scanned) {
+        return;
+    }
+    for (idx, code) in scanned.masked.lines().enumerate() {
+        let line = idx + 1;
+        for needle in LOCK_TOKENS {
+            if token_hit(code, needle).is_some()
+                && !suppressed(scanned, scopes, line, "hot-path-lock")
+            {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "hot-path-lock",
+                    message: format!(
+                        "`{needle}` acquires/builds a blocking lock in a hot-path module — read through an epoch-published snapshot or atomics, or move the writer path out of the module"
+                    ),
                 });
                 break; // one report per line is enough
             }
@@ -432,6 +473,7 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     check_unwrap(path, kind, &scanned, &scopes, &mut out);
     check_alloc(path, &scanned, &scopes, &mut out);
+    check_hot_path_lock(path, &scanned, &scopes, &mut out);
     check_nondet(path, &scanned, &scopes, &mut out);
     check_await_guard(path, &scanned, &scopes, &mut out);
     check_metric_names(path, kind, &scanned, &scopes, &mut out);

@@ -16,7 +16,11 @@
 //!   shedding (§4.6);
 //! * [`workload`] — Poisson device streams, skewed populations, IoT
 //!   access-frequency cohorts and synchronous mass access;
-//! * [`metrics`] — percentiles, CDFs and CPU-trace time series.
+//! * [`metrics`] — percentiles, CDFs and CPU-trace time series;
+//! * [`shard_driver`] — the *multi-core* scale-out driver: real MMP
+//!   engines sharded across worker threads over the epoch-published
+//!   routing plane, driven by per-shard access cells through bounded
+//!   mailboxes (the `scale_out` mega-bench).
 
 #![forbid(unsafe_code)]
 
@@ -24,11 +28,16 @@ pub mod fault;
 pub mod geo;
 pub mod metrics;
 pub mod queueing;
+pub mod shard_driver;
 pub mod workload;
 
 pub use fault::{ChaosConfig, ChaosReport, ChaosRng, ChaosSim, FaultEvent, FaultKind, FaultPlan};
 pub use geo::{GeoDevice, GeoPlacement, GeoSim};
 pub use metrics::{ResultRow, Samples, TimeSeries};
+pub use shard_driver::{
+    run_scale_out, run_scale_out_observed, LatencySummary, ScaleOutConfig, ScaleOutCounts,
+    ScaleOutReport,
+};
 pub use queueing::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ReassignPolicy, Request, VmServer,
 };

@@ -1,0 +1,870 @@
+//! The multi-core scale-out driver: real MMP engines sharded across
+//! worker threads by ring partition, driven by per-shard access cells
+//! (eNodeB + UE populations) through bounded mailboxes.
+//!
+//! Topology: worker *s* owns one [`Shard`] (the MMP engines whose
+//! `vm_id ≡ s (mod n)`) **and** one access cell (the eNodeB and the
+//! UEs homed on it, striped the same way). Every interaction crosses
+//! a mailbox as a message; nothing shares mutable state between
+//! threads. Routing decisions come from the lock-free
+//! [`RouteReader`] over the epoch-published [`RoutePlane`].
+//!
+//! ## Why responses route by *remembered serving VM*, not by id byte
+//!
+//! Active-mode S1AP ids embed the VM that minted them, and Service
+//! Requests re-mint the id on the serving VM — so routing responses by
+//! the id's VM byte works for attach and SR. A TAU served by a replica
+//! holder, however, answers with the *stale* id minted by the previous
+//! Active period's VM; routing its `UeContextReleaseComplete` by that
+//! byte would deliver it to an engine whose copy is not in
+//! `AwaitReleaseComplete`, silently dropping the Idle edge. Real S1AP
+//! runs over per-eNodeB SCTP associations: responses return to the MME
+//! endpoint serving the connection. The cell reproduces that by
+//! remembering the VM it routed each procedure to and addressing every
+//! uplink of that connection there explicitly.
+//!
+//! ## Happens-before for cross-shard replication
+//!
+//! A shard finishing an Idle edge enqueues `Replicate` blobs to holder
+//! shards *before* the `Settled` notification reaches the UE's home
+//! cell, and the home cell only initiates the next procedure after
+//! processing `Settled`. Each mailbox is a single FIFO, so a later
+//! `ToVm` addressed to a holder shard always dequeues after the
+//! `Replicate` that precedes it in real time — the serving holder has
+//! imported the state before the Service Request arrives. The same
+//! argument makes the `Stop` broadcast safe: it is enqueued after
+//! every other message of the run.
+
+use scale_core::shard::{shard_of, ShardEvent};
+use scale_core::{
+    RoutePlane, RouteReader, RouteSnapshot, Shard, ShardConfig, ShardMsg, ShardStats,
+    ShardStatsSnapshot, VmId,
+};
+use scale_epc::{EnbEvent, EnodeB, Ue, UeEvent};
+use scale_mme::Incoming;
+use scale_nas::{Plmn, Tai};
+use scale_obs::Histogram;
+use scale_s1ap::S1apPdu;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// First M-TMSI handed out; UE `u` gets `MTMSI_BASE + u`.
+const MTMSI_BASE: u32 = 0x0200_0000;
+/// eNodeB id of cell `c` is `ENB_BASE + c`.
+const ENB_BASE: u32 = 0x0100_0000;
+/// Mailbox capacity. In-flight work is bounded by `window` UEs per
+/// cell, each contributing a handful of queued messages, so queues
+/// stay far from full — which is what keeps blocking sends between
+/// mutually-sending workers deadlock-free.
+const MAILBOX: usize = 1 << 15;
+
+/// Configuration for one scale-out run.
+#[derive(Debug, Clone)]
+pub struct ScaleOutConfig {
+    /// Worker threads (= shards = access cells).
+    pub n_shards: usize,
+    /// Total MMP VM fleet, striped over shards by [`shard_of`]. Keep
+    /// this constant while varying `n_shards` so every configuration
+    /// routes over the identical ring.
+    pub total_vms: usize,
+    /// Replication degree R.
+    pub replication: usize,
+    /// Devices to drive through attach + op mix.
+    pub n_ues: usize,
+    /// Idle-mode procedures (SR/TAU mix) per device after attach.
+    pub ops_per_ue: usize,
+    /// Seed for the SR/TAU op mix (and the HSS).
+    pub seed: u64,
+    /// In-flight devices per cell.
+    pub window: usize,
+    /// Virtual tokens per ring node.
+    pub ring_tokens: u32,
+}
+
+impl ScaleOutConfig {
+    /// The CI smoke shape: small population, two ops each.
+    pub fn smoke(n_shards: usize) -> Self {
+        ScaleOutConfig {
+            n_shards,
+            total_vms: 8,
+            replication: 2,
+            n_ues: 2000,
+            ops_per_ue: 2,
+            seed: 42,
+            window: 64,
+            ring_tokens: 64,
+        }
+    }
+}
+
+/// Deterministic outcome counts of a run: identical for identical
+/// `(seed, config)` regardless of thread scheduling, and — except for
+/// timing — independent of `n_shards` for a fixed VM fleet. The racy
+/// least-loaded holder choice moves *where* work runs, never *how
+/// much* of it there is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScaleOutCounts {
+    /// Attach procedures completed.
+    pub attaches: u64,
+    /// Service Requests served.
+    pub service_requests: u64,
+    /// TAUs served.
+    pub taus: u64,
+    /// Idle edges (S1 releases + TAU teardowns) completed.
+    pub idles: u64,
+    /// Engine events processed (fleet-wide).
+    pub messages: u64,
+    /// Replica blobs imported ( = (R-1) × idle edges, local + remote).
+    pub replicas_imported: u64,
+    /// Device contexts resident at quiesce ( = R × population).
+    pub contexts_held: u64,
+    /// NAS rejects (expected 0).
+    pub rejects: u64,
+    /// Engine/cell errors (expected 0).
+    pub errors: u64,
+}
+
+/// Latency summary of one procedure class.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Completions observed.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+}
+
+/// Everything a run reports: the deterministic counts plus wall-clock
+/// and per-thread CPU measurements.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleOutReport {
+    /// Worker threads used.
+    pub n_shards: usize,
+    /// Devices driven.
+    pub n_ues: usize,
+    /// Idle-mode ops per device.
+    pub ops_per_ue: usize,
+    /// Deterministic outcome counts.
+    pub counts: ScaleOutCounts,
+    /// Replica blobs that crossed a shard boundary (topology-dependent,
+    /// *not* deterministic — the local/remote split follows the racy
+    /// serving-holder choice).
+    pub replicas_sent: u64,
+    /// Wall-clock run time.
+    pub elapsed_ms: u64,
+    /// Engine messages per wall-clock second (bounded by physical
+    /// cores actually available).
+    pub wall_messages_per_s: f64,
+    /// Attaches per wall-clock second.
+    pub wall_attaches_per_s: f64,
+    /// CPU milliseconds consumed by each worker thread.
+    pub cpu_ms_per_shard: Vec<u64>,
+    /// Engine messages divided by the *bottleneck worker's* CPU time:
+    /// the throughput this shard count sustains when each worker has a
+    /// core of its own. On a host with fewer physical cores than
+    /// shards this is the honest scaling metric; wall-clock is not.
+    pub projected_messages_per_s: f64,
+    /// Same projection for attaches.
+    pub projected_attaches_per_s: f64,
+    /// Per-procedure latency (attach / service_request / tau /
+    /// s1_release), microseconds.
+    pub latency: Vec<(String, LatencySummary)>,
+}
+
+/// One mailbox message between workers.
+enum CellMsg {
+    /// Control-plane work for the receiving worker's shard.
+    Cp(ShardMsg),
+    /// S1AP toward the receiving worker's eNodeB.
+    Enb(S1apPdu),
+    /// A procedure edge for a UE homed on the receiving cell.
+    Settled { m_tmsi: u32, edge: Edge },
+    /// Run over; drain nothing further and exit.
+    Stop,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edge {
+    Active,
+    Idle,
+}
+
+/// Where UE `u`'s procedure currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Drive {
+    Unstarted,
+    Attaching,
+    Releasing,
+    InService,
+    InTau,
+    Done,
+}
+
+struct UeSlot {
+    ue: Ue,
+    drive: Drive,
+    /// VM this cell routed the in-flight procedure to; all uplinks of
+    /// the current signalling connection go there (see module docs).
+    serving_vm: VmId,
+    /// Current (or latest) RRC connection id at the cell's eNodeB.
+    enb_ue_id: u32,
+    ops_done: usize,
+    started: Instant,
+}
+
+/// Shared per-class latency histograms (scale-obs histograms are
+/// all-atomic, so every worker records into the same instances).
+#[derive(Clone)]
+pub struct ScaleOutHists {
+    attach: Arc<Histogram>,
+    service_request: Arc<Histogram>,
+    tau: Arc<Histogram>,
+    s1_release: Arc<Histogram>,
+}
+
+impl ScaleOutHists {
+    fn new() -> Self {
+        ScaleOutHists {
+            attach: Arc::new(Histogram::new()),
+            service_request: Arc::new(Histogram::new()),
+            tau: Arc::new(Histogram::new()),
+            s1_release: Arc::new(Histogram::new()),
+        }
+    }
+}
+
+/// The access side of one worker: the cell's eNodeB, its UE
+/// population, and the drive state machine.
+struct AccessCell {
+    cell: usize,
+    n_shards: usize,
+    plmn: Plmn,
+    enb: EnodeB,
+    slots: Vec<UeSlot>,
+    /// eNodeB connection id → local UE index (the eNodeB only keeps
+    /// the reverse map).
+    conn_ue: HashMap<u32, usize>,
+    reader: RouteReader,
+    senders: Vec<SyncSender<CellMsg>>,
+    remaining: Arc<AtomicUsize>,
+    stats: Arc<ShardStats>,
+    hists: ScaleOutHists,
+    seed: u64,
+    ops_per_ue: usize,
+    next_unstarted: usize,
+    errors: u64,
+    error_samples: Vec<String>,
+}
+
+/// SplitMix64 — the op-mix PRF: `mix(seed, u, k)` decides whether op
+/// `k` of UE `u` is an SR or a TAU, identically on every run.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn op_is_tau(seed: u64, u: u64, k: u64) -> bool {
+    // 1-in-3 TAU, 2-in-3 SR — TAUs are the rarer periodic procedure.
+    mix64(seed ^ mix64(u ^ mix64(k))) % 3 == 2
+}
+
+impl AccessCell {
+    fn global_ue(&self, local: usize) -> usize {
+        local * self.n_shards + self.cell
+    }
+
+    fn fail(&mut self, what: impl Into<String>) {
+        self.errors += 1;
+        if self.error_samples.len() < 8 {
+            self.error_samples.push(what.into());
+        }
+    }
+
+    fn send(&self, shard: usize, msg: CellMsg) {
+        if self.senders[shard].send(msg).is_err() {
+            panic!("shard {shard} mailbox closed mid-run");
+        }
+    }
+
+    fn send_to_vm(&self, vm: VmId, guti_hint: Option<u32>, pdu: S1apPdu) {
+        let ev = Incoming::S1ap {
+            enb_id: ENB_BASE + self.cell as u32,
+            pdu,
+        };
+        self.send(
+            shard_of(vm, self.n_shards),
+            CellMsg::Cp(ShardMsg::ToVm { vm, guti_hint, ev }),
+        );
+    }
+
+    /// Register the new RRC connection of `local` and return the PDU.
+    fn track_conn(&mut self, local: usize, pdu: &S1apPdu) {
+        if let S1apPdu::InitialUeMessage { enb_ue_id, .. } = pdu {
+            self.conn_ue.remove(&self.slots[local].enb_ue_id);
+            self.conn_ue.insert(*enb_ue_id, local);
+            self.slots[local].enb_ue_id = *enb_ue_id;
+        }
+    }
+
+    fn start_attach(&mut self, local: usize) {
+        let m_tmsi = MTMSI_BASE + self.global_ue(local) as u32;
+        let Some(vm) = self.reader.route_new_attach(m_tmsi) else {
+            self.fail(format!("no live holder for attach of {m_tmsi:#x}"));
+            return;
+        };
+        self.reader.charge(vm);
+        let nas = self.slots[local].ue.attach_request();
+        let pdu = self.enb.connect(local, nas, None, 3);
+        self.track_conn(local, &pdu);
+        let slot = &mut self.slots[local];
+        slot.drive = Drive::Attaching;
+        slot.serving_vm = vm;
+        slot.started = Instant::now();
+        self.send_to_vm(vm, Some(m_tmsi), pdu);
+    }
+
+    /// eNodeB inactivity timer: ask the serving VM to release.
+    fn start_release(&mut self, local: usize) {
+        let slot = &mut self.slots[local];
+        let vm = slot.serving_vm;
+        let Some(pdu) = self.enb.inactivity_release(slot.enb_ue_id) else {
+            self.fail(format!("release without connection (ue {local})"));
+            return;
+        };
+        slot.drive = Drive::Releasing;
+        slot.started = Instant::now();
+        self.reader.charge(vm);
+        self.send_to_vm(vm, None, pdu);
+    }
+
+    /// Next Idle-mode op (SR or TAU per the seeded mix), or Done.
+    fn next_op_or_done(&mut self, local: usize) {
+        if self.slots[local].ops_done >= self.ops_per_ue {
+            self.slots[local].drive = Drive::Done;
+            self.finish_ue();
+            return;
+        }
+        let u = self.global_ue(local) as u64;
+        let k = self.slots[local].ops_done as u64;
+        if op_is_tau(self.seed, u, k) {
+            self.start_tau(local, k);
+        } else {
+            self.start_service_request(local);
+        }
+    }
+
+    fn route_idle_conn(&mut self, local: usize, m_tmsi: u32) -> Option<VmId> {
+        match self.reader.route_idle(m_tmsi) {
+            Some(vm) => {
+                self.reader.charge(vm);
+                Some(vm)
+            }
+            None => {
+                self.fail(format!("no live holder for {m_tmsi:#x} (ue {local})"));
+                None
+            }
+        }
+    }
+
+    fn start_service_request(&mut self, local: usize) {
+        let Some((nas, m_tmsi)) = self.slots[local].ue.service_request() else {
+            self.fail(format!("ue {local} cannot build SR"));
+            return;
+        };
+        let Some(vm) = self.route_idle_conn(local, m_tmsi) else {
+            return;
+        };
+        let code = self.slots[local].ue.guti.map_or(0, |g| g.mme_code);
+        let pdu = self.enb.connect(local, nas, Some((code, m_tmsi)), 3);
+        self.track_conn(local, &pdu);
+        let slot = &mut self.slots[local];
+        slot.drive = Drive::InService;
+        slot.serving_vm = vm;
+        slot.started = Instant::now();
+        self.send_to_vm(vm, None, pdu);
+    }
+
+    fn start_tau(&mut self, local: usize, k: u64) {
+        // Alternate between two tracking areas so the TA list actually
+        // changes (bounded, so contexts stay fixed-size).
+        let tai = Tai::new(self.plmn, 2 + (k % 2) as u16);
+        let Some((nas, m_tmsi)) = self.slots[local].ue.tau_request(tai) else {
+            self.fail(format!("ue {local} cannot build TAU"));
+            return;
+        };
+        let Some(vm) = self.route_idle_conn(local, m_tmsi) else {
+            return;
+        };
+        let code = self.slots[local].ue.guti.map_or(0, |g| g.mme_code);
+        let pdu = self.enb.connect(local, nas, Some((code, m_tmsi)), 4);
+        self.track_conn(local, &pdu);
+        let slot = &mut self.slots[local];
+        slot.drive = Drive::InTau;
+        slot.serving_vm = vm;
+        slot.started = Instant::now();
+        self.send_to_vm(vm, None, pdu);
+    }
+
+    /// A UE finished its script: refill the window, and broadcast Stop
+    /// when the *global* population is done.
+    fn finish_ue(&mut self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            for s in 0..self.n_shards {
+                self.send(s, CellMsg::Stop);
+            }
+            return;
+        }
+        if self.next_unstarted < self.slots.len() {
+            let next = self.next_unstarted;
+            self.next_unstarted += 1;
+            self.start_attach(next);
+        }
+    }
+
+    /// A lifecycle edge for a UE homed here.
+    fn settled(&mut self, m_tmsi: u32, edge: Edge) {
+        let Some(u) = m_tmsi.checked_sub(MTMSI_BASE).map(|u| u as usize) else {
+            self.fail(format!("settle for out-of-range m_tmsi {m_tmsi:#x}"));
+            return;
+        };
+        let local = u / self.n_shards;
+        if u % self.n_shards != self.cell || local >= self.slots.len() {
+            self.fail(format!("settle for foreign m_tmsi {m_tmsi:#x}"));
+            return;
+        }
+        if edge == Edge::Idle {
+            self.stats.idles.fetch_add(1, Ordering::Relaxed);
+        }
+        let elapsed = self.slots[local].started.elapsed();
+        match (self.slots[local].drive, edge) {
+            (Drive::Attaching, Edge::Active) => {
+                self.hists.attach.record_duration(elapsed);
+                self.slots[local].ue.radio_active();
+                self.start_release(local);
+            }
+            (Drive::InService, Edge::Active) => {
+                self.hists.service_request.record_duration(elapsed);
+                self.slots[local].ue.radio_active();
+                self.slots[local].ops_done += 1;
+                self.start_release(local);
+            }
+            (Drive::Releasing, Edge::Idle) => {
+                self.hists.s1_release.record_duration(elapsed);
+                self.next_op_or_done(local);
+            }
+            (Drive::InTau, Edge::Idle) => {
+                self.hists.tau.record_duration(elapsed);
+                self.slots[local].ops_done += 1;
+                self.next_op_or_done(local);
+            }
+            (drive, edge) => {
+                self.fail(format!("ue {local}: unexpected {edge:?} in {drive:?}"));
+            }
+        }
+    }
+
+    /// S1AP from some shard toward this cell's eNodeB.
+    fn handle_enb(&mut self, pdu: S1apPdu) {
+        let events = self.enb.handle_from_mme(pdu);
+        // Route MME-bound responses before applying connection
+        // teardowns: a ReleaseComplete needs the conn → UE → serving-VM
+        // mapping that the teardown in the same batch retires.
+        for ev in &events {
+            if let EnbEvent::ToMme(p) = ev {
+                self.route_uplink(p.clone());
+            }
+        }
+        for ev in events {
+            match ev {
+                EnbEvent::ToMme(_) => {}
+                EnbEvent::NasToUe { ue, nas } => self.nas_to_ue(ue, nas),
+                EnbEvent::UeReleased { ue } => self.slots[ue].ue.radio_released(),
+                // Paging and handover are not part of this drive mix.
+                EnbEvent::PageUe { .. }
+                | EnbEvent::HandoverAdmitted { .. }
+                | EnbEvent::HandoverProceed { .. } => {}
+            }
+        }
+    }
+
+    /// Send an eNodeB-originated PDU to the VM serving its connection.
+    fn route_uplink(&mut self, pdu: S1apPdu) {
+        let enb_ue_id = match &pdu {
+            S1apPdu::InitialContextSetupResponse { enb_ue_id, .. }
+            | S1apPdu::InitialContextSetupFailure { enb_ue_id, .. }
+            | S1apPdu::UeContextReleaseComplete { enb_ue_id, .. }
+            | S1apPdu::UplinkNasTransport { enb_ue_id, .. } => Some(*enb_ue_id),
+            S1apPdu::ErrorIndication { enb_ue_id, .. } => *enb_ue_id,
+            _ => None,
+        };
+        let Some(local) = enb_ue_id.and_then(|id| self.conn_ue.get(&id).copied()) else {
+            self.fail(format!("uplink with no tracked connection: {pdu:?}"));
+            return;
+        };
+        self.send_to_vm(self.slots[local].serving_vm, None, pdu);
+    }
+
+    fn nas_to_ue(&mut self, local: usize, nas: bytes::Bytes) {
+        let events = match self.slots[local].ue.handle_nas(nas) {
+            Ok(evs) => evs,
+            Err(e) => {
+                self.fail(format!("ue {local} NAS error: {e}"));
+                return;
+            }
+        };
+        for ev in events {
+            match ev {
+                UeEvent::SendNas(reply) => {
+                    let enb_ue_id = self.slots[local].enb_ue_id;
+                    match self.enb.uplink(enb_ue_id, reply) {
+                        Some(pdu) => {
+                            self.send_to_vm(self.slots[local].serving_vm, None, pdu);
+                        }
+                        None => self.fail(format!("ue {local}: uplink without connection")),
+                    }
+                }
+                UeEvent::Attached { .. } | UeEvent::Detached => {}
+                UeEvent::Rejected { cause } => {
+                    self.fail(format!("ue {local} rejected, cause {cause}"));
+                }
+                UeEvent::NetworkAuthFailed => {
+                    self.fail(format!("ue {local}: network auth failed"));
+                }
+            }
+        }
+    }
+}
+
+/// What one worker hands back at join time.
+struct WorkerOut {
+    stats: ShardStatsSnapshot,
+    contexts_held: usize,
+    cpu_ms: u64,
+    cell_errors: u64,
+    error_samples: Vec<String>,
+}
+
+/// CPU time this thread has consumed, from the scheduler's own
+/// nanosecond ledger (`/proc/thread-self/schedstat`, field 1). Falls
+/// back to 0 where procfs is absent — the report marks projections
+/// meaningless there anyway.
+fn thread_cpu_ms() -> u64 {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .next()
+                .and_then(|ns| ns.parse::<u64>().ok())
+        })
+        .map_or(0, |ns| ns / 1_000_000)
+}
+
+fn run_worker(
+    mut shard: Shard,
+    mut cell: AccessCell,
+    rx: &Receiver<CellMsg>,
+    window: usize,
+) -> WorkerOut {
+    // Prime the window; every further start is Done-triggered.
+    let prime = window.min(cell.slots.len());
+    cell.next_unstarted = prime;
+    for local in 0..prime {
+        cell.start_attach(local);
+    }
+    // Cells with no UE at all (population smaller than the fleet)
+    // still serve their shard's mailbox until Stop.
+    let mut outbox: Vec<(usize, ShardMsg)> = Vec::new();
+    let mut events: Vec<ShardEvent> = Vec::new();
+    'serve: while let Ok(msg) = rx.recv() {
+        match msg {
+            CellMsg::Cp(m) => {
+                shard.process(m, &mut outbox, &mut events);
+                // Outbox (Replicate/Drop) first, then notifications:
+                // the FIFO mailboxes turn this ordering into the
+                // replicate-before-next-procedure happens-before edge.
+                for (target, m) in outbox.drain(..) {
+                    cell.send(target, CellMsg::Cp(m));
+                }
+                for ev in events.drain(..) {
+                    match ev {
+                        ShardEvent::S1ap { enb_id, pdu } => {
+                            let target = (enb_id - ENB_BASE) as usize;
+                            cell.send(target, CellMsg::Enb(pdu));
+                        }
+                        ShardEvent::Active { guti, .. } => {
+                            let u = guti.m_tmsi.wrapping_sub(MTMSI_BASE) as usize;
+                            cell.send(
+                                u % cell.n_shards,
+                                CellMsg::Settled {
+                                    m_tmsi: guti.m_tmsi,
+                                    edge: Edge::Active,
+                                },
+                            );
+                        }
+                        ShardEvent::Idle { guti, .. } => {
+                            let u = guti.m_tmsi.wrapping_sub(MTMSI_BASE) as usize;
+                            cell.send(
+                                u % cell.n_shards,
+                                CellMsg::Settled {
+                                    m_tmsi: guti.m_tmsi,
+                                    edge: Edge::Idle,
+                                },
+                            );
+                        }
+                        // Attached is always followed by Active in the
+                        // same batch; Detached is not in the drive mix.
+                        ShardEvent::Attached { .. } | ShardEvent::Detached { .. } => {}
+                        ShardEvent::Error { vm, error } => {
+                            cell.fail(format!("engine vm {vm}: {error}"));
+                        }
+                    }
+                }
+            }
+            CellMsg::Enb(pdu) => cell.handle_enb(pdu),
+            CellMsg::Settled { m_tmsi, edge } => cell.settled(m_tmsi, edge),
+            CellMsg::Stop => break 'serve,
+        }
+    }
+    WorkerOut {
+        stats: shard.stats.snapshot(),
+        contexts_held: shard.contexts_held(),
+        cpu_ms: thread_cpu_ms(),
+        cell_errors: cell.errors,
+        error_samples: cell.error_samples,
+    }
+}
+
+/// Run one sharded scale-out configuration to completion and report.
+///
+/// Returns the merged deterministic counts plus wall/CPU measurements;
+/// `shard_stats_out`, when provided, receives each shard's live
+/// [`ShardStats`] handle (for observability publication).
+pub fn run_scale_out(cfg: &ScaleOutConfig) -> ScaleOutReport {
+    run_scale_out_observed(cfg, &mut Vec::new())
+}
+
+/// [`run_scale_out`], also exposing the per-shard stats handles.
+pub fn run_scale_out_observed(
+    cfg: &ScaleOutConfig,
+    shard_stats_out: &mut Vec<Arc<ShardStats>>,
+) -> ScaleOutReport {
+    assert!(cfg.n_shards >= 1, "need at least one shard");
+    assert!(
+        cfg.total_vms >= cfg.replication && cfg.total_vms >= cfg.n_shards,
+        "fleet too small for replication degree / shard count"
+    );
+    assert!(
+        cfg.n_ues < (u32::MAX - MTMSI_BASE) as usize,
+        "population exceeds M-TMSI space"
+    );
+    let plmn = Plmn::test();
+    let mut snap = RouteSnapshot::new(cfg.ring_tokens, cfg.replication, plmn, 0x8001, 1);
+    for vm in 1..=cfg.total_vms as VmId {
+        snap.ring.add_node(vm);
+    }
+    let plane = Arc::new(RoutePlane::new(snap));
+    let hists = ScaleOutHists::new();
+    let remaining = Arc::new(AtomicUsize::new(cfg.n_ues));
+
+    let mut senders: Vec<SyncSender<CellMsg>> = Vec::with_capacity(cfg.n_shards);
+    let mut receivers: Vec<Receiver<CellMsg>> = Vec::with_capacity(cfg.n_shards);
+    for _ in 0..cfg.n_shards {
+        let (tx, rx) = sync_channel(MAILBOX);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let mut workers: Vec<(Shard, AccessCell, Receiver<CellMsg>)> = Vec::new();
+    for (s, rx) in receivers.into_iter().enumerate() {
+        let vms: Vec<VmId> = (1..=cfg.total_vms as VmId)
+            .filter(|&vm| shard_of(vm, cfg.n_shards) == s)
+            .collect();
+        let shard = Shard::new(
+            &ShardConfig {
+                id: s,
+                n_shards: cfg.n_shards,
+                vms,
+                hss_seed: cfg.seed,
+            },
+            &plane,
+        );
+        shard_stats_out.push(Arc::clone(&shard.stats));
+        let n_local = cfg.n_ues / cfg.n_shards + usize::from(s < cfg.n_ues % cfg.n_shards);
+        let base_tai = Tai::new(plmn, 1);
+        let slots: Vec<UeSlot> = (0..n_local)
+            .map(|local| {
+                let u = local * cfg.n_shards + s;
+                UeSlot {
+                    ue: Ue::new(&format!("00101{u:010}"), plmn, base_tai),
+                    drive: Drive::Unstarted,
+                    serving_vm: 0,
+                    enb_ue_id: 0,
+                    ops_done: 0,
+                    started: Instant::now(),
+                }
+            })
+            .collect();
+        let cell = AccessCell {
+            cell: s,
+            n_shards: cfg.n_shards,
+            plmn,
+            enb: EnodeB::new(
+                ENB_BASE + s as u32,
+                &format!("cell-{s}"),
+                vec![base_tai, Tai::new(plmn, 2), Tai::new(plmn, 3)],
+            ),
+            slots,
+            conn_ue: HashMap::new(),
+            reader: plane.reader(),
+            senders: senders.clone(),
+            remaining: Arc::clone(&remaining),
+            stats: Arc::clone(&shard.stats),
+            hists: hists.clone(),
+            seed: cfg.seed,
+            ops_per_ue: cfg.ops_per_ue,
+            next_unstarted: 0,
+            errors: 0,
+            error_samples: Vec::new(),
+        };
+        workers.push((shard, cell, rx));
+    }
+    drop(senders);
+
+    let started = Instant::now();
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|(shard, cell, rx)| {
+                let window = cfg.window;
+                scope.spawn(move || run_worker(shard, cell, &rx, window))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(_) => panic!("shard worker panicked"),
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut merged = ShardStatsSnapshot::default();
+    let mut contexts_held = 0usize;
+    let mut cell_errors = 0u64;
+    let mut cpu_ms_per_shard = Vec::with_capacity(outs.len());
+    let mut samples = Vec::new();
+    for out in &outs {
+        merged.merge(&out.stats);
+        contexts_held += out.contexts_held;
+        cell_errors += out.cell_errors;
+        cpu_ms_per_shard.push(out.cpu_ms);
+        samples.extend(out.error_samples.iter().cloned());
+    }
+    if !samples.is_empty() {
+        eprintln!("scale_out: {} error(s); first: {}", cell_errors + merged.errors, samples[0]);
+    }
+
+    let counts = ScaleOutCounts {
+        attaches: merged.attaches,
+        service_requests: merged.service_requests,
+        taus: merged.taus,
+        idles: merged.idles,
+        messages: merged.messages,
+        replicas_imported: merged.replicas_imported,
+        contexts_held: contexts_held as u64,
+        rejects: merged.rejects,
+        errors: merged.errors + cell_errors,
+    };
+    let wall_s = elapsed.as_secs_f64().max(1e-9);
+    let bottleneck_s = cpu_ms_per_shard
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64
+        / 1e3;
+    let summarize = |h: &Histogram| LatencySummary {
+        count: h.count(),
+        p50_us: h.p50(),
+        p99_us: h.p99(),
+    };
+    ScaleOutReport {
+        n_shards: cfg.n_shards,
+        n_ues: cfg.n_ues,
+        ops_per_ue: cfg.ops_per_ue,
+        counts,
+        replicas_sent: merged.replicas_sent,
+        elapsed_ms: elapsed.as_millis() as u64,
+        wall_messages_per_s: counts.messages as f64 / wall_s,
+        wall_attaches_per_s: counts.attaches as f64 / wall_s,
+        cpu_ms_per_shard,
+        projected_messages_per_s: counts.messages as f64 / bottleneck_s,
+        projected_attaches_per_s: counts.attaches as f64 / bottleneck_s,
+        latency: vec![
+            ("attach".into(), summarize(&hists.attach)),
+            ("service_request".into(), summarize(&hists.service_request)),
+            ("tau".into(), summarize(&hists.tau)),
+            ("s1_release".into(), summarize(&hists.s1_release)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mix_is_a_pure_function() {
+        for u in 0..50 {
+            for k in 0..4 {
+                assert_eq!(op_is_tau(7, u, k), op_is_tau(7, u, k));
+            }
+        }
+        // Both kinds occur.
+        let taus = (0..300)
+            .filter(|&u| op_is_tau(7, u, 0))
+            .count();
+        assert!(taus > 50 && taus < 250, "degenerate mix: {taus}/300");
+    }
+
+    #[test]
+    fn single_shard_smoke_completes_cleanly() {
+        let mut cfg = ScaleOutConfig::smoke(1);
+        cfg.n_ues = 64;
+        cfg.window = 16;
+        let report = run_scale_out(&cfg);
+        assert_eq!(report.counts.errors, 0);
+        assert_eq!(report.counts.attaches, 64);
+        assert_eq!(
+            report.counts.service_requests + report.counts.taus,
+            64 * cfg.ops_per_ue as u64
+        );
+        // Quiesced population: R copies per device.
+        assert_eq!(report.counts.contexts_held, 64 * cfg.replication as u64);
+        // Every idle edge re-synced R-1 replicas.
+        assert_eq!(
+            report.counts.replicas_imported,
+            (cfg.replication as u64 - 1) * report.counts.idles
+        );
+    }
+
+    #[test]
+    fn multi_shard_counts_match_single_shard() {
+        let mut cfg1 = ScaleOutConfig::smoke(1);
+        cfg1.n_ues = 96;
+        cfg1.window = 12;
+        let mut cfg3 = cfg1.clone();
+        cfg3.n_shards = 3;
+        let r1 = run_scale_out(&cfg1);
+        let r3 = run_scale_out(&cfg3);
+        assert_eq!(r1.counts, r3.counts, "counts must not depend on sharding");
+    }
+}

@@ -1,0 +1,232 @@
+//! An API-compatible subset of the `arc-swap` crate, implemented in
+//! 100% safe Rust (the real crate builds its lock-free store on raw
+//! pointer juggling; this build environment forbids `unsafe`).
+//!
+//! The trick: instead of swapping a raw pointer, the container keeps a
+//! monotonically versioned *chain* of immutable nodes. `store` appends
+//! a node (writer-side mutex — writers are rare) and then publishes the
+//! new version number with a single `Release` store. Readers go through
+//! a per-reader [`Cache`]: `load` is one `Acquire` version check plus,
+//! only when the version moved, a walk down the chain — no locks, no
+//! CAS loops, no allocation on the hot path.
+//!
+//! Retired nodes are unlinked lazily: each `store` clips the chain
+//! behind the new tail, so dropped snapshots free as soon as the last
+//! reader cache moves past them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One published value in the version chain.
+struct Node<T> {
+    value: Arc<T>,
+    version: u64,
+    /// Link to the next (newer) published value; set exactly once by
+    /// the writer that supersedes this node.
+    next: OnceLock<Arc<Node<T>>>,
+}
+
+impl<T> Drop for Node<T> {
+    fn drop(&mut self) {
+        // Unlink iteratively: a reader cache that lagged thousands of
+        // versions behind would otherwise free the chain by recursion
+        // and blow the stack.
+        let mut next = self.next.take();
+        while let Some(node) = next {
+            match Arc::try_unwrap(node) {
+                // Sole owner: hollow it out before its own drop runs.
+                Ok(mut inner) => next = inner.next.take(),
+                // Another cache still pins the rest of the chain.
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A shared, concurrently replaceable `Arc<T>`.
+///
+/// Writers call [`ArcSwap::store`]; readers hold a [`Cache`] (from
+/// [`ArcSwap::cache`]) and call [`Cache::load`], which is wait-free
+/// for the reader whenever the value has not changed.
+pub struct ArcSwap<T> {
+    /// Version of the newest published node. Read with `Acquire`: a
+    /// reader that observes version `v` also observes the chain links
+    /// leading to the node carrying `v`.
+    version: AtomicU64,
+    /// Newest node. Only writers touch this; the mutex serializes
+    /// them without ever blocking a reader.
+    tail: Mutex<Arc<Node<T>>>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Create the container holding `initial`.
+    pub fn from_pointee(initial: T) -> Self {
+        Self::new(Arc::new(initial))
+    }
+
+    /// Create the container holding `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        let node = Arc::new(Node {
+            value: initial,
+            version: 1,
+            next: OnceLock::new(),
+        });
+        ArcSwap {
+            version: AtomicU64::new(1),
+            tail: Mutex::new(node),
+        }
+    }
+
+    /// Publish a new value. Readers see either the old or the new
+    /// value, never anything in between.
+    pub fn store(&self, value: Arc<T>) {
+        let mut tail = self.tail.lock().expect("arcswap writer poisoned");
+        let version = tail.version + 1;
+        let node = Arc::new(Node {
+            value,
+            version,
+            next: OnceLock::new(),
+        });
+        tail.next
+            .set(Arc::clone(&node))
+            .unwrap_or_else(|_| panic!("arcswap chain link set twice"));
+        *tail = node;
+        // Release: the chain link above happens-before any reader that
+        // observes the bumped version.
+        self.version.store(version, Ordering::Release);
+    }
+
+    /// Load the current value, cloning the inner `Arc`.
+    ///
+    /// This takes the writer mutex and is meant for slow-path /
+    /// test use; hot-path readers use [`Cache::load`].
+    pub fn load_full(&self) -> Arc<T> {
+        Arc::clone(&self.tail.lock().expect("arcswap writer poisoned").value)
+    }
+
+    /// Create a reader-side cache (one per reader thread).
+    pub fn cache(&self) -> Cache<T> {
+        Cache {
+            node: Arc::clone(&*self.tail.lock().expect("arcswap writer poisoned")),
+        }
+    }
+
+    /// Version of the newest published value (monotonic, starts at 1).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+impl<T> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+/// Per-reader cache over an [`ArcSwap`]. Cheap to clone; each clone
+/// advances independently.
+pub struct Cache<T> {
+    node: Arc<Node<T>>,
+}
+
+impl<T> Cache<T> {
+    /// Get the current value. Lock-free: a version check, then — only
+    /// when a newer value was published — a walk down the chain.
+    pub fn load(&mut self, source: &ArcSwap<T>) -> &Arc<T> {
+        if source.version.load(Ordering::Acquire) != self.node.version {
+            // Chase the chain to the newest node. Each link was
+            // published before the version bump we just observed.
+            while let Some(next) = self.node.next.get() {
+                self.node = Arc::clone(next);
+            }
+        }
+        &self.node.value
+    }
+
+    /// The version of the value this cache currently holds.
+    pub fn version(&self) -> u64 {
+        self.node.version
+    }
+}
+
+impl<T> Clone for Cache<T> {
+    fn clone(&self) -> Self {
+        Cache {
+            node: Arc::clone(&self.node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn store_then_load() {
+        let s = ArcSwap::from_pointee(1u32);
+        let mut c = s.cache();
+        assert_eq!(**c.load(&s), 1);
+        s.store(Arc::new(2));
+        assert_eq!(**c.load(&s), 2);
+        assert_eq!(s.version(), 2);
+        assert_eq!(*s.load_full(), 2);
+    }
+
+    #[test]
+    fn stale_cache_catches_up_over_many_versions() {
+        let s = ArcSwap::from_pointee(0u64);
+        let mut c = s.cache();
+        for i in 1..=100 {
+            s.store(Arc::new(i));
+        }
+        assert_eq!(**c.load(&s), 100);
+        assert_eq!(c.version(), s.version());
+    }
+
+    #[test]
+    fn old_nodes_are_freed_once_readers_move_on() {
+        let s = ArcSwap::from_pointee(vec![0u8; 16]);
+        let first = Arc::downgrade(&s.load_full());
+        let mut c = s.cache();
+        s.store(Arc::new(vec![1u8; 16]));
+        assert!(first.upgrade().is_some(), "cache still pins the chain");
+        c.load(&s);
+        assert!(first.upgrade().is_none(), "retired snapshot must drop");
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_values() {
+        // Publish pairs (n, n): a torn read would surface as a pair
+        // whose halves disagree.
+        let s = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                let stop = Arc::clone(&stop);
+                let mut cache = s.cache();
+                scope.spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (a, b) = **cache.load(&s);
+                        assert_eq!(a, b, "torn snapshot");
+                        assert!(a >= last, "version went backwards");
+                        last = a;
+                    }
+                });
+            }
+            for n in 1..=10_000u64 {
+                s.store(Arc::new((n, n)));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let mut c = s.cache();
+        assert_eq!(**c.load(&s), (10_000, 10_000));
+    }
+}
