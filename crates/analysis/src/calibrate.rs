@@ -1,0 +1,188 @@
+//! Snapshot → model-parameter extraction.
+//!
+//! The Jackson model's inputs are per-procedure **service demands** —
+//! the seconds of worker time one request of each class consumes. The
+//! cluster already measures per-class latency (`ProcClass` histograms
+//! in `scale-core`; delay series in `scale-sim`), and at low load
+//! latency *is* the service demand: with an empty queue, sojourn time
+//! collapses to pure service time. Calibration therefore reads the
+//! per-class mean from a [`Snapshot`] captured during a low-load window
+//! and uses it as the demand.
+//!
+//! That makes calibration an explicit, offline step: run (or replay) a
+//! quiet window, snapshot the registry, build a [`ServiceDemands`], and
+//! construct the autoscaler / [`FleetModel`](crate::FleetModel) from
+//! it. Re-calibrating mid-flight from a *loaded* system would fold
+//! queueing delay into the demand estimate and bias the model upward —
+//! DESIGN.md §13 discusses the error sources.
+
+use crate::jackson::ClassLoad;
+use scale_obs::Snapshot;
+
+/// One procedure class's calibrated service demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDemand {
+    /// Procedure-class label (e.g. `"attach"`).
+    pub name: String,
+    /// Calibrated per-request service demand — unit: **seconds**.
+    pub service_s: f64,
+}
+
+/// Mapping from `ProcClass`-style labels (see `scale_core::obs`) to
+/// the `scale-core` per-procedure latency histograms, for calibrating
+/// against a live `ScaleDc` registry snapshot.
+pub const MMP_PROC_HISTOGRAMS: &[(&str, &str)] = &[
+    ("attach", "scale_mmp_attach_latency_us"),
+    ("service_request", "scale_mmp_service_request_latency_us"),
+    ("tau", "scale_mmp_tau_latency_us"),
+    ("s1_release", "scale_mmp_s1_release_latency_us"),
+    ("other", "scale_mmp_other_latency_us"),
+];
+
+/// The set of calibrated per-class service demands feeding the model.
+///
+/// Build one with [`ServiceDemands::from_histograms`] /
+/// [`ServiceDemands::from_series`] (snapshot-driven) or assemble it
+/// manually when demands are known a priori.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceDemands {
+    /// Calibrated demands, one entry per procedure class.
+    pub classes: Vec<ClassDemand>,
+}
+
+impl ServiceDemands {
+    /// Calibrate from histogram means in a registry snapshot.
+    ///
+    /// `mapping` pairs each class label with the histogram metric name
+    /// holding its low-load latency (e.g. [`MMP_PROC_HISTOGRAMS`]).
+    /// Histograms that are absent or empty are skipped — the model
+    /// simply carries no demand for that class. Histogram sums are in
+    /// integer microseconds, so the extracted demand is exact up to
+    /// 1 µs per recorded sample.
+    pub fn from_histograms(snap: &Snapshot, mapping: &[(&str, &str)]) -> ServiceDemands {
+        let classes = mapping
+            .iter()
+            .filter_map(|&(class, metric)| {
+                let h = snap.histogram(metric)?;
+                if h.count == 0 {
+                    return None;
+                }
+                Some(ClassDemand {
+                    name: class.to_string(),
+                    service_s: h.mean_us() * 1e-6,
+                })
+            })
+            .collect();
+        ServiceDemands { classes }
+    }
+
+    /// Calibrate from series means in a registry snapshot (series
+    /// record exact `f64` seconds, so this variant has no microsecond
+    /// rounding; the simulator benches use it).
+    pub fn from_series(snap: &Snapshot, mapping: &[(&str, &str)]) -> ServiceDemands {
+        let classes = mapping
+            .iter()
+            .filter_map(|&(class, metric)| {
+                let s = snap.series(metric)?;
+                if s.count == 0 {
+                    return None;
+                }
+                Some(ClassDemand {
+                    name: class.to_string(),
+                    service_s: s.mean,
+                })
+            })
+            .collect();
+        ServiceDemands { classes }
+    }
+
+    /// Demands known a priori (tests, synthetic sweeps): one
+    /// `(class, service_seconds)` pair per entry.
+    pub fn from_classes(classes: &[(&str, f64)]) -> ServiceDemands {
+        ServiceDemands {
+            classes: classes
+                .iter()
+                .map(|&(name, service_s)| {
+                    debug_assert!(
+                        service_s.is_finite() && service_s > 0.0,
+                        "service demand for {name} must be positive seconds (got {service_s})"
+                    );
+                    ClassDemand {
+                        name: name.to_string(),
+                        service_s,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Look up a class's calibrated demand in seconds.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.classes
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.service_s)
+    }
+
+    /// Number of calibrated classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when no class has been calibrated (the model cannot run).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Join these demands with per-class arrival rates into the model's
+    /// input vector (convenience for [`ClassLoad::join`]).
+    pub fn with_rates(&self, rates: &[(&str, f64)]) -> Vec<ClassLoad> {
+        ClassLoad::join(self, rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scale_obs::Registry;
+
+    #[test]
+    fn histogram_calibration_reads_means() {
+        let reg = Registry::new();
+        let h = reg.histogram("scale_mmp_attach_latency_us", "attach");
+        h.record_us(2800);
+        h.record_us(2900);
+        // Empty histogram must be skipped.
+        reg.histogram("scale_mmp_tau_latency_us", "tau");
+        let snap = Snapshot::of(&reg);
+        let d = ServiceDemands::from_histograms(&snap, MMP_PROC_HISTOGRAMS);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get("attach"), Some(2850.0 * 1e-6));
+        assert_eq!(d.get("tau"), None);
+    }
+
+    #[test]
+    fn series_calibration_is_exact() {
+        let reg = Registry::new();
+        let s = reg.series("scale_sim_attach_service_seconds", "attach demand");
+        s.push(1.0 / 350.0);
+        s.push(1.0 / 350.0);
+        let snap = Snapshot::of(&reg);
+        let d = ServiceDemands::from_series(&snap, &[("attach", "scale_sim_attach_service_seconds")]);
+        assert_eq!(d.get("attach"), Some(1.0 / 350.0));
+    }
+
+    #[test]
+    fn with_rates_joins_by_name() {
+        let demands = ServiceDemands {
+            classes: vec![ClassDemand {
+                name: "attach".into(),
+                service_s: 0.003,
+            }],
+        };
+        let classes = demands.with_rates(&[("attach", 10.0), ("unknown", 99.0)]);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].arrival_rps, 10.0);
+        assert!(demands.get("unknown").is_none());
+    }
+}

@@ -1,0 +1,100 @@
+//! Registry metrics published by the analytical model.
+//!
+//! The model is pure math; observability is opt-in. Components that run
+//! it in a loop (the autoscaler, the validation harness) attach a
+//! [`ModelMetrics`] to their registry and publish each prediction so
+//! the model's view of the fleet is exported next to the measured view
+//! it is supposed to track.
+
+use crate::jackson::FleetPrediction;
+use scale_obs::{Counter, Gauge, Registry};
+use std::sync::Arc;
+
+/// Gauges/counters mirroring the latest [`FleetPrediction`] into a
+/// [`Registry`] under the `scale_analysis_*` namespace.
+#[derive(Debug, Clone)]
+pub struct ModelMetrics {
+    rho: Arc<Gauge>,
+    predicted_p50_ms: Arc<Gauge>,
+    predicted_p99_ms: Arc<Gauge>,
+    predictions: Arc<Counter>,
+    saturated: Arc<Counter>,
+}
+
+impl ModelMetrics {
+    /// Register the model metrics in `reg` (idempotent, like every
+    /// registry handle).
+    pub fn new(reg: &Registry) -> ModelMetrics {
+        ModelMetrics {
+            rho: reg.gauge(
+                "scale_analysis_rho",
+                "predicted per-worker utilisation of the latest model run",
+            ),
+            predicted_p50_ms: reg.gauge(
+                "scale_analysis_predicted_p50_ms",
+                "worst-class predicted median sojourn (ms)",
+            ),
+            predicted_p99_ms: reg.gauge(
+                "scale_analysis_predicted_p99_ms",
+                "worst-class predicted p99 sojourn (ms)",
+            ),
+            predictions: reg.counter(
+                "scale_analysis_predictions_total",
+                "model predictions published",
+            ),
+            saturated: reg.counter(
+                "scale_analysis_saturated_total",
+                "predictions that reported a saturated fleet (rho >= 1)",
+            ),
+        }
+    }
+
+    /// Publish one prediction. Saturated predictions export the ρ gauge
+    /// as-is and bump the saturation counter; the latency gauges are
+    /// left at their previous finite values (gauges cannot hold ∞).
+    pub fn publish(&self, pred: &FleetPrediction) {
+        self.predictions.inc();
+        self.rho.set(pred.rho);
+        if pred.saturated {
+            self.saturated.inc();
+            return;
+        }
+        let worst_p50 = pred.classes.iter().map(|c| c.p50_s).fold(0.0, f64::max);
+        self.predicted_p50_ms.set(worst_p50 * 1e3);
+        self.predicted_p99_ms.set(pred.worst_p99_s() * 1e3);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jackson::{ClassLoad, FleetModel};
+    use scale_obs::Snapshot;
+
+    #[test]
+    fn publish_exports_prediction() {
+        let reg = Registry::new();
+        let m = ModelMetrics::new(&reg);
+        let pred = FleetModel::new(2, vec![ClassLoad::new("attach", 100.0, 1.0 / 350.0)]).predict();
+        m.publish(&pred);
+        let snap = Snapshot::of(&reg);
+        assert_eq!(snap.counter("scale_analysis_predictions_total"), Some(1));
+        assert_eq!(snap.counter("scale_analysis_saturated_total"), Some(0));
+        let rho = snap.gauge("scale_analysis_rho").unwrap();
+        assert!((rho - pred.rho).abs() < 1e-12);
+        assert!(snap.gauge("scale_analysis_predicted_p99_ms").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn saturation_bumps_counter_and_keeps_gauges_finite() {
+        let reg = Registry::new();
+        let m = ModelMetrics::new(&reg);
+        let sat = FleetModel::new(1, vec![ClassLoad::new("sr", 10_000.0, 1.0 / 600.0)]).predict();
+        assert!(sat.saturated);
+        m.publish(&sat);
+        let snap = Snapshot::of(&reg);
+        assert_eq!(snap.counter("scale_analysis_saturated_total"), Some(1));
+        // Gauge holds the previous (default 0) finite value, not ∞/NaN.
+        assert_eq!(snap.gauge("scale_analysis_predicted_p99_ms"), Some(0.0));
+    }
+}

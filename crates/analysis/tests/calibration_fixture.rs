@@ -1,0 +1,56 @@
+//! Fixture-based regression test pinning the ProcClass → service-demand
+//! calibration (ISSUE 8 test satellite).
+//!
+//! The fixture is a frozen `scale-obs` snapshot of a low-load window:
+//! per-procedure MMP latency histograms whose means are the demands the
+//! model must extract. The pinned values are exact — calibration is a
+//! deterministic integer-µs division, so any drift (a changed mapping,
+//! a unit slip, mean computed from bucket bounds instead of the exact
+//! sum) fails the equality, not a tolerance.
+
+use scale_analysis::{FleetModel, ServiceDemands, MMP_PROC_HISTOGRAMS};
+use scale_obs::Snapshot;
+
+fn fixture() -> Snapshot {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/calibration_snapshot.json"
+    );
+    let text = std::fs::read_to_string(path).expect("read calibration fixture");
+    Snapshot::from_json(&text).expect("parse calibration fixture")
+}
+
+#[test]
+fn calibrated_demands_are_pinned() {
+    let demands = ServiceDemands::from_histograms(&fixture(), MMP_PROC_HISTOGRAMS);
+    // "other" has zero samples and must be skipped, the rest extracted
+    // exactly: mean_us = sum_us / count, scaled to seconds.
+    assert_eq!(demands.len(), 4);
+    assert_eq!(demands.get("attach"), Some(285_714.0 / 100.0 * 1e-6));
+    assert_eq!(
+        demands.get("service_request"),
+        Some(333_334.0 / 200.0 * 1e-6)
+    );
+    assert_eq!(demands.get("tau"), Some(114_286.0 / 80.0 * 1e-6));
+    assert_eq!(demands.get("s1_release"), Some(62_500.0 / 50.0 * 1e-6));
+    assert_eq!(demands.get("other"), None);
+}
+
+#[test]
+fn pinned_demands_drive_a_deterministic_model() {
+    let demands = ServiceDemands::from_histograms(&fixture(), MMP_PROC_HISTOGRAMS);
+    let classes = demands.with_rates(&[
+        ("attach", 30.0),
+        ("service_request", 330.0),
+        ("tau", 120.0),
+        ("s1_release", 60.0),
+    ]);
+    assert_eq!(classes.len(), 4);
+    let a = FleetModel::new(2, classes.clone()).predict();
+    let b = FleetModel::new(2, classes).predict();
+    // Same inputs → bit-identical predictions (the autoscaler's
+    // determinism rests on this).
+    assert_eq!(a, b);
+    assert!(!a.saturated && a.rho < 1.0);
+    assert!(a.worst_p99_s() > 0.0 && a.worst_p99_s().is_finite());
+}

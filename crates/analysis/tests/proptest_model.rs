@@ -1,0 +1,110 @@
+//! Property tests for the Jackson/M-G-1 fleet model (ISSUE 8 test
+//! satellite): predictions are monotone in offered load and degrade
+//! gracefully — finite, ordered, NaN-free — as the fleet approaches
+//! saturation (ρ → 1), flipping to an explicit `saturated` marker
+//! rather than garbage beyond it.
+
+use proptest::prelude::*;
+use scale_analysis::{ClassLoad, FleetModel, RHO_SATURATION};
+
+/// A random but well-formed demand mix: 1–4 classes with service
+/// demands in the simulator's range (sub-millisecond to ~5 ms).
+fn demand_mix() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec(
+        (0.05f64..1.0, 0.0005f64..0.005), // (weight, service_s)
+        1..4,
+    )
+}
+
+/// Classes producing per-worker utilisation exactly `rho` on one VM.
+fn classes_at_rho(mix: &[(f64, f64)], rho: f64) -> Vec<ClassLoad> {
+    let wsum: f64 = mix.iter().map(|&(w, _)| w).sum();
+    let mean_s: f64 = mix.iter().map(|&(w, s)| (w / wsum) * s).sum();
+    let total_rps = rho / mean_s;
+    mix.iter()
+        .enumerate()
+        .map(|(i, &(w, s))| ClassLoad::new(&format!("class{i}"), total_rps * w / wsum, s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scaling the offered load up (same mix, same fleet) never makes
+    /// any predicted statistic smaller: the mean is exactly monotone
+    /// (Pollaczek–Khinchine), the grid-derived quantiles up to a small
+    /// numerical slack.
+    #[test]
+    fn predictions_monotone_in_offered_load(
+        mix in demand_mix(),
+        rho_lo in 0.05f64..0.9,
+        bump in 0.01f64..0.2,
+    ) {
+        let rho_hi = (rho_lo + bump).min(0.95);
+        let lo = FleetModel::new(1, classes_at_rho(&mix, rho_lo)).predict();
+        let hi = FleetModel::new(1, classes_at_rho(&mix, rho_hi)).predict();
+        prop_assert!(!lo.saturated && !hi.saturated);
+        prop_assert!(hi.wait_mean_s >= lo.wait_mean_s - 1e-12,
+            "mean wait not monotone: {} -> {}", lo.wait_mean_s, hi.wait_mean_s);
+        for (cl, ch) in lo.classes.iter().zip(&hi.classes) {
+            let slack = 1e-9 + 0.01 * cl.p99_s;
+            prop_assert!(ch.p50_s >= cl.p50_s - slack,
+                "p50 not monotone for {}: {} -> {}", cl.name, cl.p50_s, ch.p50_s);
+            prop_assert!(ch.p99_s >= cl.p99_s - slack,
+                "p99 not monotone for {}: {} -> {}", cl.name, cl.p99_s, ch.p99_s);
+        }
+    }
+
+    /// Near saturation the model stays well-behaved: every statistic is
+    /// finite, NaN-free, ordered (service ≤ p50 ≤ p99, mean ≥ wait
+    /// mean), and the fleet is not flagged saturated below the cap.
+    #[test]
+    fn graceful_near_saturation(
+        mix in demand_mix(),
+        rho in 0.9f64..0.998,
+    ) {
+        let pred = FleetModel::new(1, classes_at_rho(&mix, rho)).predict();
+        prop_assert!(!pred.saturated);
+        prop_assert!(pred.wait_mean_s.is_finite() && pred.wait_mean_s > 0.0);
+        for c in &pred.classes {
+            prop_assert!(c.p50_s.is_finite() && c.p99_s.is_finite() && c.mean_s.is_finite(),
+                "non-finite prediction for {} at rho={rho}", c.name);
+            prop_assert!(!c.p50_s.is_nan() && !c.p99_s.is_nan());
+            prop_assert!(c.p50_s >= c.service_s - 1e-12);
+            prop_assert!(c.p99_s >= c.p50_s);
+            prop_assert!(c.mean_s >= c.service_s);
+        }
+    }
+
+    /// At and beyond the saturation cap the model reports `saturated`
+    /// with infinite (never NaN) latencies instead of panicking.
+    #[test]
+    fn saturation_is_flagged_not_garbage(
+        mix in demand_mix(),
+        over in 0.0f64..1.0,
+    ) {
+        let rho = RHO_SATURATION + over;
+        let pred = FleetModel::new(1, classes_at_rho(&mix, rho)).predict();
+        prop_assert!(pred.saturated);
+        prop_assert!(pred.wait_mean_s.is_infinite());
+        for c in &pred.classes {
+            prop_assert!(c.p99_s.is_infinite() && !c.p99_s.is_nan());
+        }
+    }
+
+    /// Adding workers at fixed offered load never hurts, and the
+    /// dimensioning rule returns a fleet that actually meets its SLA
+    /// (or the cap when impossible).
+    #[test]
+    fn more_workers_never_hurt(
+        mix in demand_mix(),
+        rho in 0.3f64..0.95,
+        extra in 1u32..4,
+    ) {
+        let classes = classes_at_rho(&mix, rho);
+        let small = FleetModel::new(1, classes.clone()).predict();
+        let big = FleetModel::new(1 + extra, classes).predict();
+        prop_assert!(big.rho < small.rho);
+        prop_assert!(big.worst_p99_s() <= small.worst_p99_s() + 1e-9);
+    }
+}

@@ -61,6 +61,76 @@ pub fn ms(seconds: f64) -> f64 {
     seconds * 1000.0
 }
 
+/// Procedure classes the analytical model tracks, with their simulator
+/// [`Procedure`](scale_sim::Procedure) and calibration-series names.
+pub const SIM_MODEL_CLASSES: &[(scale_sim::Procedure, &str, &str)] = &[
+    (
+        scale_sim::Procedure::Attach,
+        "attach",
+        "scale_sim_attach_calib_seconds",
+    ),
+    (
+        scale_sim::Procedure::ServiceRequest,
+        "service_request",
+        "scale_sim_service_request_calib_seconds",
+    ),
+    (
+        scale_sim::Procedure::Handover,
+        "handover",
+        "scale_sim_handover_calib_seconds",
+    ),
+    (
+        scale_sim::Procedure::Tau,
+        "tau",
+        "scale_sim_tau_calib_seconds",
+    ),
+    (
+        scale_sim::Procedure::Paging,
+        "paging",
+        "scale_sim_paging_calib_seconds",
+    ),
+];
+
+/// Class label of a simulator procedure in the model's vocabulary.
+pub fn class_of(p: scale_sim::Procedure) -> &'static str {
+    SIM_MODEL_CLASSES
+        .iter()
+        .find(|(proc_, _, _)| *proc_ == p)
+        .map_or("other", |(_, name, _)| name)
+}
+
+/// The low-load calibration phase of the model experiments (ISSUE 8,
+/// DESIGN.md §13): replay each procedure through an *idle* single-VM
+/// [`DcSim`](scale_sim::DcSim) — requests a full second apart, so
+/// sojourn time collapses to pure service time — record the delays in
+/// registry series, and extract [`ServiceDemands`](scale_analysis::ServiceDemands)
+/// from the snapshot.
+/// Deliberately snapshot-driven end to end: the demands travel the
+/// same metrics path a production calibration would.
+pub fn calibrate_sim_demands() -> scale_analysis::ServiceDemands {
+    use scale_sim::{placement, Assignment, DcSim, Request};
+    let reg = scale_obs::Registry::new();
+    for &(procedure, _, series_name) in SIM_MODEL_CLASSES {
+        let series = reg.series(series_name, "low-load calibration delays");
+        let mut dc = DcSim::new(1, Assignment::Pinned, 1.0)
+            .with_holders(placement::pinned(1, 1))
+            .with_delay_series(series);
+        for k in 0..64 {
+            dc.submit(Request {
+                time: f64::from(k),
+                device: 0,
+                procedure,
+            });
+        }
+    }
+    let snap = scale_obs::Snapshot::of(&reg);
+    let mapping: Vec<(&str, &str)> = SIM_MODEL_CLASSES
+        .iter()
+        .map(|&(_, class, series_name)| (class, series_name))
+        .collect();
+    scale_analysis::ServiceDemands::from_series(&snap, &mapping)
+}
+
 /// Run `n` independent sweep points in parallel and return their
 /// results in point order.
 ///
@@ -91,6 +161,22 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn calibration_recovers_proc_costs() {
+        let d = calibrate_sim_demands();
+        let costs = scale_sim::ProcCosts::default();
+        assert_eq!(d.len(), 5);
+        for &(p, class, _) in SIM_MODEL_CLASSES {
+            let got = d.get(class).expect(class);
+            assert!(
+                (got - costs.of(p)).abs() < 1e-12,
+                "{class}: calibrated {got} vs true {}",
+                costs.of(p)
+            );
+        }
+        assert_eq!(class_of(scale_sim::Procedure::Detach), "other");
+    }
 
     #[test]
     fn run_points_preserves_order() {

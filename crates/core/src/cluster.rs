@@ -793,7 +793,33 @@ impl ScaleDc {
         let vms_before = self.mmps.len();
         let target = prov.vms() as usize;
 
-        // 5. Elastic scaling with state transfer.
+        // 5–6. Elastic scaling with state transfer and re-homing.
+        let transferred = self.apply_provisioning(target);
+
+        EpochReport {
+            provisioning: prov,
+            vms_before,
+            vms_after: self.mmps.len(),
+            beta,
+            registered_devices: k,
+            observed_load: observed,
+            states_transferred: transferred,
+            single_copy_devices: self.single_copy.len() as u64,
+        }
+    }
+
+    /// Scale the MMP fleet to `target` VMs and re-home every device to
+    /// its (possibly new) ring holders — steps 5–6 of [`Self::run_epoch`],
+    /// exposed so an external controller (the closed-loop autoscaler)
+    /// can drive provisioning from its own target instead of Eq 1's.
+    ///
+    /// The fleet never shrinks below one VM, and growth stops early if
+    /// the VM id space is exhausted. Transferred states are counted
+    /// into `stats.transfers`; the MLB load window is closed and
+    /// metrics are published, exactly as at an epoch boundary. Returns
+    /// the number of states transferred during rebalancing.
+    pub fn apply_provisioning(&mut self, target: usize) -> u64 {
+        let target = target.max(1);
         let transfers_before = self.stats.replications;
         while self.mmps.len() < target {
             if self.add_mmp().is_none() {
@@ -806,8 +832,9 @@ impl ScaleDc {
             };
             self.remove_mmp(victim);
         }
-        // 6. Re-home every device to its (possibly new) holders.
-        for &m_tmsi in &ids {
+        // Re-home every device to its (possibly new) holders.
+        let ids: Vec<u32> = self.device_weights().keys().copied().collect();
+        for m_tmsi in ids {
             let guti = self.mlb.guti(m_tmsi);
             self.sync_holders(guti, None);
         }
@@ -820,17 +847,7 @@ impl ScaleDc {
             self.check_invariants();
             self.check_replica_invariants();
         }
-
-        EpochReport {
-            provisioning: prov,
-            vms_before,
-            vms_after: self.mmps.len(),
-            beta,
-            registered_devices: k,
-            observed_load: observed,
-            states_transferred: transferred,
-            single_copy_devices: self.single_copy.len() as u64,
-        }
+        transferred
     }
 
     /// Attach this DC to a shared metrics registry: registers every

@@ -11,6 +11,10 @@
 //! * [`obs`] — the observability bridge: registers the cluster's
 //!   counters/latency histograms in a shared [`scale_obs::Registry`];
 //! * [`provision`](mod@provision) — Eq 1–3: VM provisioning, β, access-aware allocation;
+//! * [`autoscale`] — the closed-loop controller: snapshot-driven
+//!   observations through the `scale-analysis` Jackson model into
+//!   [`ScaleDc::apply_provisioning`](cluster::ScaleDc::apply_provisioning),
+//!   with hysteresis, step limits and fleet bounds;
 //! * [`geo`] — geo-multiplexing budgets and the delay-weighted remote-DC
 //!   selector (§4.5.2);
 //! * [`routeplane`] — the lock-free shared routing plane: an
@@ -29,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod baseline;
 pub mod cluster;
 pub mod failover;
@@ -39,6 +44,9 @@ pub mod provision;
 pub mod routeplane;
 pub mod shard;
 
+pub use autoscale::{
+    AutoscaleConfig, Autoscaler, Decision, EpochObservation, ScaleAction, CLUSTER_CLASS_COUNTERS,
+};
 pub use baseline::{LegacyPool, PoolMember, PoolStats};
 pub use cluster::{DcStats, EpochReport, RepairReport, ScaleConfig, ScaleDc};
 pub use failover::{

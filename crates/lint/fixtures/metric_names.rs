@@ -5,6 +5,7 @@ pub fn register(reg: &Registry) {
     reg.counter("attach_count", "missing scale_ prefix and _total suffix");
     reg.histogram("scale_mme_attach_latency", "histogram without _us suffix");
     reg.gauge("scale_mlb_load_total", "gauge borrowing the counter suffix");
+    reg.series("scale_anlaysis_wait_seconds", "typo'd component forks the namespace");
 }
 
 pub struct Registry;

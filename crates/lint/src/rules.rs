@@ -324,10 +324,28 @@ const METRIC_METHODS: &[(&str, Option<&str>)] = &[
     (".gauge(", None),
 ];
 
-/// Does `name` follow `scale_<crate>_<noun>[_more]` with `{..}`
-/// placeholders treated as one alphanumeric run?
-fn well_formed_metric(name: &str) -> bool {
-    // Collapse `{...}` interpolations (dynamic id segments).
+/// Known metric components — the `<component>` segment of
+/// `scale_<component>_<noun>_<unit>`. A registration whose second
+/// segment is not listed here fails the `metric-name` rule, so a
+/// typo'd component (`scale_anlaysis_*`) breaks CI instead of silently
+/// forking the metric namespace. Extend the list when a new subsystem
+/// starts exporting metrics.
+const KNOWN_COMPONENTS: &[&str] = &[
+    "analysis",  // analytical model (scale-analysis)
+    "autoscale", // closed-loop controller (scale-core::autoscale)
+    "chaos",     // failover experiments
+    "dc",        // datacenter cluster front end
+    "link",      // sctplite transport links
+    "mlb",       // load balancer / routing plane
+    "mme",       // monolithic baseline MME
+    "mmp",       // MMP workers
+    "obs",       // observability self-metrics
+    "sim",       // queueing simulator instrumentation
+];
+
+/// Collapse `{...}` interpolations (dynamic id segments) into one
+/// alphanumeric run so format-built names lint like literals.
+fn flatten_metric(name: &str) -> String {
     let mut flat = String::with_capacity(name.len());
     let mut in_brace = false;
     for c in name.chars() {
@@ -341,6 +359,11 @@ fn well_formed_metric(name: &str) -> bool {
             _ => flat.push(c),
         }
     }
+    flat
+}
+
+/// Does the flattened `name` follow `scale_<component>_<noun>[_more]`?
+fn well_formed_metric(flat: &str) -> bool {
     let parts: Vec<&str> = flat.split('_').collect();
     parts.len() >= 2
         && parts[0] == "scale"
@@ -426,13 +449,27 @@ pub fn check_metric_names(
         if suppressed(scanned, scopes, line, "metric-name") {
             continue;
         }
-        if !well_formed_metric(&name) {
+        let flat = flatten_metric(&name);
+        if !well_formed_metric(&flat) {
             out.push(Violation {
                 path: path.to_string(),
                 line,
                 rule: "metric-name",
                 message: format!(
                     "metric `{name}` does not follow `scale_<crate>_<noun>_<unit>` (lowercase, underscore-separated, `scale_` prefix)"
+                ),
+            });
+            continue;
+        }
+        let component = flat.split('_').nth(1).unwrap_or("");
+        if !KNOWN_COMPONENTS.contains(&component) {
+            out.push(Violation {
+                path: path.to_string(),
+                line,
+                rule: "metric-name",
+                message: format!(
+                    "metric `{name}` uses unknown component `{component}` — known components: {} (extend KNOWN_COMPONENTS in crates/lint/src/rules.rs for a new subsystem)",
+                    KNOWN_COMPONENTS.join(", ")
                 ),
             });
             continue;

@@ -178,6 +178,22 @@ pub struct Snapshot {
     pub phased: Vec<PhasedSnap>,
 }
 
+impl HistogramSnap {
+    /// Mean recorded value in microseconds (0 for an empty histogram).
+    ///
+    /// The sum is an exact integer-µs accumulator, so — unlike the
+    /// bucket-resolved quantiles — the mean carries no bucket
+    /// quantisation error; model calibration reads service demands
+    /// through this.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
 /// Map non-finite (and thus non-JSON-round-trippable) values to 0.
 fn finite(v: f64) -> f64 {
     if v.is_finite() {
@@ -232,6 +248,30 @@ impl Snapshot {
             }
         }
         snap
+    }
+
+    /// Value of the counter named `name`, if present.
+    ///
+    /// The named lookups are the snapshot→model extraction surface:
+    /// consumers (the analytical model, the autoscaler) address
+    /// metrics by name instead of scanning the vectors.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Value of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Summary of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnap> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Summary of the series named `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&SeriesSnap> {
+        self.series.iter().find(|s| s.name == name)
     }
 
     /// Render as pretty-printed JSON.
@@ -415,6 +455,28 @@ mod tests {
         assert_eq!(snap.series[0].max, 0.0);
         let back = Snapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn named_lookups_resolve_metrics() {
+        let reg = populated_registry();
+        let snap = Snapshot::of(&reg);
+        assert_eq!(snap.counter("scale_mlb_routes_total"), Some(1234));
+        assert_eq!(snap.gauge("scale_mlb_vm0_load"), Some(0.37));
+        let h = snap.histogram("scale_mmp_attach_latency_us").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.mean_us(), (12.0 + 40.0 + 250.0 + 9000.0) / 4.0);
+        assert_eq!(snap.series("scale_sim_delay_seconds").unwrap().count, 50);
+        assert_eq!(snap.counter("scale_absent_total"), None);
+        assert!(snap.histogram("scale_absent_us").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let reg = Registry::new();
+        reg.histogram("scale_empty_us", "empty");
+        let snap = Snapshot::of(&reg);
+        assert_eq!(snap.histogram("scale_empty_us").unwrap().mean_us(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Seeded diurnal arrival traces for the closed-loop autoscaler
+//! experiments.
+//!
+//! A [`DiurnalTrace`] is a deterministic day-long rate envelope sampled
+//! per epoch, with small seeded multiplicative jitter so the trace is
+//! not perfectly smooth, plus a per-epoch Poisson request stream at the
+//! sampled rate. Three shapes cover the cases an autoscaler must face:
+//!
+//! * [`TraceShape::Commute`] — the classic double hump: morning and
+//!   evening rush hours with a mid-day plateau and quiet nights.
+//!   Gradual ramps; a forecasting controller should track it closely.
+//! * [`TraceShape::Stadium`] — a flat low day with a flash-crowd event
+//!   (a stadium emptying): a several-fold rate spike that ramps up in
+//!   roughly one epoch. The hard case: purely reactive control pays at
+//!   least one epoch of SLA damage.
+//! * [`TraceShape::NightIot`] — metering/IoT fleets reporting
+//!   overnight: a broad night-time wave, modest by day — the shape
+//!   where static peak provisioning wastes the most VM-hours.
+//!
+//! Everything is a pure function of (shape, seed, epoch): two runs of
+//! the same trace are bit-identical, which is what lets the autoscale
+//! bench assert run-to-run determinism of its entire results file.
+
+use crate::queueing::Request;
+use crate::workload::{poisson_arrivals, ProcedureMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The rate-envelope family of a [`DiurnalTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceShape {
+    /// Morning + evening rush-hour humps, quiet night.
+    Commute,
+    /// Flat low load with a narrow flash-crowd spike.
+    Stadium,
+    /// Broad overnight reporting wave, modest daytime load.
+    NightIot,
+}
+
+impl TraceShape {
+    /// Stable label used in results files and series names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceShape::Commute => "commute",
+            TraceShape::Stadium => "stadium",
+            TraceShape::NightIot => "night_iot",
+        }
+    }
+
+    /// All shapes, in results-file order.
+    pub fn all() -> [TraceShape; 3] {
+        [TraceShape::Commute, TraceShape::Stadium, TraceShape::NightIot]
+    }
+}
+
+/// A seeded day-long arrival trace: `epochs` control epochs of
+/// `epoch_s` virtual seconds each, with the aggregate arrival rate
+/// following the shape's envelope between `base_rps` and `peak_rps`.
+#[derive(Debug, Clone, Copy)]
+pub struct DiurnalTrace {
+    /// Envelope family.
+    pub shape: TraceShape,
+    /// Number of epochs covering the day.
+    pub epochs: u32,
+    /// Epoch length in virtual seconds.
+    pub epoch_s: f64,
+    /// Off-peak aggregate arrival rate (requests/second).
+    pub base_rps: f64,
+    /// Peak aggregate arrival rate (requests/second).
+    pub peak_rps: f64,
+    /// Seed for the jitter and the per-epoch request streams.
+    pub seed: u64,
+}
+
+/// Relative jitter amplitude: each epoch's rate is scaled by a seeded
+/// factor in [1 − JITTER, 1 + JITTER].
+const JITTER: f64 = 0.04;
+
+impl DiurnalTrace {
+    /// A trace with the default experiment geometry: 96 epochs of 60
+    /// virtual seconds (a day at 15-minute-equivalent resolution,
+    /// compressed so a full sweep stays cheap to simulate).
+    pub fn new(shape: TraceShape, base_rps: f64, peak_rps: f64, seed: u64) -> DiurnalTrace {
+        debug_assert!(base_rps > 0.0 && peak_rps >= base_rps);
+        DiurnalTrace {
+            shape,
+            epochs: 96,
+            epoch_s: 60.0,
+            base_rps,
+            peak_rps,
+            seed,
+        }
+    }
+
+    /// The deterministic envelope value in [0, 1] at day-fraction `x`
+    /// (0 = midnight, wrap-around; no jitter).
+    fn envelope(&self, x: f64) -> f64 {
+        // Circular distance on the unit day so night shapes are smooth
+        // across the midnight boundary.
+        let dist = |a: f64, b: f64| {
+            let d = (a - b).abs();
+            d.min(1.0 - d)
+        };
+        let gauss = |x: f64, mu: f64, sigma: f64| {
+            let d = dist(x, mu) / sigma;
+            (-0.5 * d * d).exp()
+        };
+        match self.shape {
+            TraceShape::Commute => {
+                let morning = gauss(x, 0.33, 0.07);
+                let evening = 0.85 * gauss(x, 0.71, 0.09);
+                (morning + evening).min(1.0)
+            }
+            TraceShape::Stadium => {
+                // Flat 0.08 day; event window [0.70, 0.80]: one-epoch
+                // ramp to full, hold, one-epoch fall.
+                let floor = 0.08;
+                if !(0.70..0.80).contains(&x) {
+                    floor
+                } else if x < 0.72 {
+                    floor + (1.0 - floor) * (x - 0.70) / 0.02
+                } else if x < 0.78 {
+                    1.0
+                } else {
+                    floor + (1.0 - floor) * (0.80 - x) / 0.02
+                }
+            }
+            TraceShape::NightIot => {
+                let night = gauss(x, 0.10, 0.10);
+                (0.30 + 0.70 * night).min(1.0)
+            }
+        }
+    }
+
+    /// Aggregate arrival rate for `epoch` (requests/second): the
+    /// envelope scaled into [`base_rps`, `peak_rps`] times the seeded
+    /// per-epoch jitter factor.
+    ///
+    /// [`base_rps`]: DiurnalTrace::base_rps
+    /// [`peak_rps`]: DiurnalTrace::peak_rps
+    pub fn rate_at(&self, epoch: u32) -> f64 {
+        let x = f64::from(epoch % self.epochs) / f64::from(self.epochs);
+        let env = self.envelope(x);
+        let nominal = self.base_rps + (self.peak_rps - self.base_rps) * env;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ u64::from(epoch).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let jitter = 1.0 + JITTER * (2.0 * rng.gen::<f64>() - 1.0);
+        (nominal * jitter).max(1.0)
+    }
+
+    /// The largest per-epoch rate over the whole day (requests/second)
+    /// — what a static peak-provisioned deployment must be sized for.
+    pub fn peak_rate(&self) -> f64 {
+        (0..self.epochs).map(|e| self.rate_at(e)).fold(0.0, f64::max)
+    }
+
+    /// Mean per-epoch rate over the whole day (requests/second).
+    pub fn mean_rate(&self) -> f64 {
+        (0..self.epochs).map(|e| self.rate_at(e)).sum::<f64>() / f64::from(self.epochs)
+    }
+
+    /// The epoch's Poisson request stream: arrival times relative to
+    /// the epoch start in [0, `epoch_s`), devices drawn uniformly from
+    /// `0..n_devices`, procedures from `mix`. Deterministic per
+    /// (trace seed, epoch).
+    pub fn requests(&self, epoch: u32, n_devices: usize, mix: ProcedureMix) -> Vec<Request> {
+        debug_assert!(n_devices > 0);
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .rotate_left(17)
+                .wrapping_add(0x5851_F42D_4C95_7F2D)
+                ^ u64::from(epoch).wrapping_mul(0xDA94_2042_E4DD_58B5),
+        );
+        let rate = self.rate_at(epoch);
+        let times = poisson_arrivals(&mut rng, rate, self.epoch_s);
+        times
+            .into_iter()
+            .map(|time| Request {
+                time,
+                device: rng.gen_range(0..n_devices),
+                procedure: mix.draw(&mut rng),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = DiurnalTrace::new(TraceShape::Commute, 100.0, 600.0, 42);
+        let b = DiurnalTrace::new(TraceShape::Commute, 100.0, 600.0, 42);
+        for e in 0..a.epochs {
+            assert_eq!(a.rate_at(e), b.rate_at(e));
+        }
+        let ra = a.requests(10, 500, ProcedureMix::typical());
+        let rb = b.requests(10, 500, ProcedureMix::typical());
+        assert_eq!(ra.len(), rb.len());
+        assert!(ra
+            .iter()
+            .zip(&rb)
+            .all(|(x, y)| x.time == y.time && x.device == y.device && x.procedure == y.procedure));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DiurnalTrace::new(TraceShape::Commute, 100.0, 600.0, 1);
+        let b = DiurnalTrace::new(TraceShape::Commute, 100.0, 600.0, 2);
+        let diff = (0..a.epochs).filter(|&e| a.rate_at(e) != b.rate_at(e)).count();
+        assert!(diff > 90, "only {diff} epochs differ");
+    }
+
+    #[test]
+    fn rates_stay_in_band() {
+        for shape in TraceShape::all() {
+            let t = DiurnalTrace::new(shape, 100.0, 600.0, 7);
+            for e in 0..t.epochs {
+                let r = t.rate_at(e);
+                assert!(r >= 100.0 * (1.0 - JITTER) - 1e-9, "{} epoch {e}: {r}", shape.name());
+                assert!(r <= 600.0 * (1.0 + JITTER) + 1e-9, "{} epoch {e}: {r}", shape.name());
+            }
+            assert!(t.peak_rate() > 0.9 * 600.0, "{} never nears peak", shape.name());
+            assert!(t.mean_rate() < t.peak_rate());
+        }
+    }
+
+    #[test]
+    fn stadium_spike_is_narrow_commute_is_broad() {
+        let busy = |shape| {
+            let t = DiurnalTrace::new(shape, 100.0, 600.0, 7);
+            (0..t.epochs)
+                .filter(|&e| t.rate_at(e) > 100.0 + 0.5 * 500.0)
+                .count()
+        };
+        let stadium = busy(TraceShape::Stadium);
+        let commute = busy(TraceShape::Commute);
+        assert!(stadium >= 4, "stadium spike missing ({stadium} busy epochs)");
+        assert!(
+            commute > 2 * stadium,
+            "commute ({commute}) should be much broader than stadium ({stadium})"
+        );
+    }
+
+    #[test]
+    fn night_iot_peaks_at_night() {
+        let t = DiurnalTrace::new(TraceShape::NightIot, 100.0, 600.0, 7);
+        let night: f64 = (0..12).map(|e| t.rate_at(e)).sum();
+        let midday: f64 = (40..52).map(|e| t.rate_at(e)).sum();
+        assert!(night > 1.5 * midday, "night {night} vs midday {midday}");
+    }
+
+    #[test]
+    fn request_stream_matches_rate() {
+        let t = DiurnalTrace::new(TraceShape::Commute, 100.0, 600.0, 11);
+        let e = 32; // near the morning peak
+        let reqs = t.requests(e, 400, ProcedureMix::typical());
+        let expected = t.rate_at(e) * t.epoch_s;
+        assert!(
+            (reqs.len() as f64 - expected).abs() < 5.0 * expected.sqrt(),
+            "{} requests vs expected {expected}",
+            reqs.len()
+        );
+        assert!(reqs.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(reqs.iter().all(|r| r.time >= 0.0 && r.time < t.epoch_s && r.device < 400));
+    }
+}

@@ -16,6 +16,9 @@
 //!   shedding (§4.6);
 //! * [`workload`] — Poisson device streams, skewed populations, IoT
 //!   access-frequency cohorts and synchronous mass access;
+//! * [`diurnal`] — seeded day-long arrival traces (commute double-hump,
+//!   stadium flash-crowd, overnight IoT wave) for the closed-loop
+//!   autoscaler experiments;
 //! * [`metrics`] — percentiles, CDFs and CPU-trace time series;
 //! * [`shard_driver`] — the *multi-core* scale-out driver: real MMP
 //!   engines sharded across worker threads over the epoch-published
@@ -24,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diurnal;
 pub mod fault;
 pub mod geo;
 pub mod metrics;
@@ -31,6 +35,7 @@ pub mod queueing;
 pub mod shard_driver;
 pub mod workload;
 
+pub use diurnal::{DiurnalTrace, TraceShape};
 pub use fault::{ChaosConfig, ChaosReport, ChaosRng, ChaosSim, FaultEvent, FaultKind, FaultPlan};
 pub use geo::{GeoDevice, GeoPlacement, GeoSim};
 pub use metrics::{ResultRow, Samples, TimeSeries};

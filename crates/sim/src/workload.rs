@@ -77,7 +77,7 @@ impl ProcedureMix {
         m
     }
 
-    fn draw(&self, rng: &mut StdRng) -> Procedure {
+    pub(crate) fn draw(&self, rng: &mut StdRng) -> Procedure {
         let total =
             self.attach + self.service_request + self.handover + self.tau + self.paging;
         let mut roll = rng.gen_range(0.0..total);
