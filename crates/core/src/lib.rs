@@ -22,6 +22,9 @@
 //!   with per-thread cached readers and a relaxed-atomic load table;
 //! * [`shard`] — per-worker MMP engine groups with exclusive context
 //!   ownership; cross-shard procedures travel as [`ShardMsg`] values;
+//! * [`wire`] — the multi-process deployment's sans-IO core: the
+//!   [`WireMsg`] protocol plus the MLB-front and
+//!   MMP-worker process logic driven over `sctplite` links;
 //! * [`baseline`] — the legacy 3GPP pool comparator (§3.1).
 //!
 //! `ScaleDc` and `LegacyPool` both implement `scale_epc::ControlPlane`,
@@ -43,6 +46,7 @@ pub mod obs;
 pub mod provision;
 pub mod routeplane;
 pub mod shard;
+pub mod wire;
 
 pub use autoscale::{
     AutoscaleConfig, Autoscaler, Decision, EpochObservation, ScaleAction, CLUSTER_CLASS_COUNTERS,
@@ -55,10 +59,11 @@ pub use failover::{
 };
 pub use geo::{DcBudget, DcId, DelayMatrix, GeoSelector};
 pub use mlb::{MlbRouter, MlbStats, VmId, VmLoad};
-pub use obs::{DcObserver, ProcClass};
+pub use obs::{DcObserver, ProcClass, WireLinkObserver};
 pub use provision::{
     beta, provision, replica_probability, Allocation, AllocationPolicy, LoadEstimator,
     Provisioning, VmCapacity,
 };
 pub use routeplane::{LoadTable, RoutePlane, RouteReader, RouteSnapshot, MAX_R};
 pub use shard::{Shard, ShardConfig, ShardMsg, ShardStats, ShardStatsSnapshot};
+pub use wire::{MlbOut, MlbState, MlbWireStats, MmpNode, WireMsg, WireRole, WireTopo};

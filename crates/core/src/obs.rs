@@ -316,3 +316,85 @@ impl DcObserver {
         )
     }
 }
+
+/// Registered metric handles for the wire-level MLB front process
+/// (DESIGN.md §14): link-layer counters the socket router publishes
+/// off-path from [`MlbWireStats`](crate::wire::MlbWireStats), exported
+/// through [`scale_obs::report_kv`] on the stdout report protocol.
+pub struct WireLinkObserver {
+    registry: Arc<Registry>,
+    routed_attaches: Arc<Counter>,
+    routed_idle: Arc<Counter>,
+    forwarded_uplinks: Arc<Counter>,
+    settled_relayed: Arc<Counter>,
+    proc_failures: Arc<Counter>,
+    dropped: Arc<Counter>,
+    errors: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    links_live: Arc<Gauge>,
+}
+
+impl WireLinkObserver {
+    /// Register the wire-link metrics in `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        WireLinkObserver {
+            routed_attaches: r.counter(
+                "scale_wire_routed_attaches_total",
+                "Fresh attaches routed over sctplite links",
+            ),
+            routed_idle: r.counter(
+                "scale_wire_routed_idle_total",
+                "Idle-to-Active transitions routed over sctplite links",
+            ),
+            forwarded_uplinks: r.counter(
+                "scale_wire_forwarded_uplinks_total",
+                "Pinned-connection uplinks forwarded eNB-to-MMP",
+            ),
+            settled_relayed: r.counter(
+                "scale_wire_settled_relayed_total",
+                "Procedure-settled notifications relayed MMP-to-eNB",
+            ),
+            proc_failures: r.counter(
+                "scale_wire_proc_failures_total",
+                "In-flight procedures failed back to their eNB on link loss",
+            ),
+            dropped: r.counter(
+                "scale_wire_dropped_total",
+                "Frames dropped for want of a live link or pinned connection",
+            ),
+            errors: r.counter(
+                "scale_wire_errors_total",
+                "Router-side wire errors (no live holder, codec faults)",
+            ),
+            reconnects: r.counter(
+                "scale_wire_reconnects_total",
+                "MMP links re-established after a death",
+            ),
+            links_live: r.gauge(
+                "scale_wire_links_live",
+                "Live sctplite links (eNB + MMP) at publish time",
+            ),
+            registry,
+        }
+    }
+
+    /// The registry this observer registers into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Publish the router's counters (overwrite semantics, same
+    /// rationale as [`DcObserver::publish_shards`]).
+    pub fn publish(&self, stats: &crate::wire::MlbWireStats, reconnects: u64, links_live: u64) {
+        self.routed_attaches.set(stats.routed_attaches);
+        self.routed_idle.set(stats.routed_idle);
+        self.forwarded_uplinks.set(stats.forwarded_uplinks);
+        self.settled_relayed.set(stats.settled_relayed);
+        self.proc_failures.set(stats.proc_failures);
+        self.dropped.set(stats.dropped);
+        self.errors.set(stats.errors);
+        self.reconnects.set(reconnects);
+        self.links_live.set(links_live as f64);
+    }
+}

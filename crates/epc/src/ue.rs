@@ -135,6 +135,19 @@ impl Ue {
         })
     }
 
+    /// Power-cycle amnesia: drop the GUTI and security context so the
+    /// next [`Ue::attach_request`] is a fresh IMSI attach. This is the
+    /// recovery path when the network lost an Active-mode context that
+    /// was never replicated (§4.6): a GUTI attach would be rejected
+    /// with `UE_IDENTITY_UNKNOWN`, so the device starts over.
+    pub fn forget_network(&mut self) {
+        self.state = UeState::Detached;
+        self.guti = None;
+        self.sec = None;
+        self.pending_keys = None;
+        self.pdn_addr = None;
+    }
+
     /// Radio released: the device is now Idle.
     pub fn radio_released(&mut self) {
         if self.state == UeState::Active {
@@ -266,7 +279,17 @@ impl Ue {
                 }
                 Ok(vec![])
             }
-            EmmMessage::TauReject { cause } => Ok(vec![UeEvent::Rejected { cause }]),
+            EmmMessage::ServiceReject { cause } | EmmMessage::TauReject { cause } => {
+                self.state = UeState::Detached;
+                // Cause #9: the network cannot derive who we are — the
+                // context was lost server-side. Drop the stale GUTI and
+                // keys so the behaviour layer re-attaches by IMSI.
+                if cause == scale_nas::emm_cause::UE_IDENTITY_UNKNOWN {
+                    self.guti = None;
+                    self.sec = None;
+                }
+                Ok(vec![UeEvent::Rejected { cause }])
+            }
             EmmMessage::DetachAccept => {
                 self.state = UeState::Detached;
                 self.sec = None;

@@ -1,0 +1,9 @@
+//! Seeded violation: blocking lock guard held across `.await` inside a
+//! wire-deployment module (the `await-guard` rule's second scope — the
+//! fixture's synthesized path contains `wire`, not `sctplite`).
+
+pub async fn relay(plane: &std::sync::RwLock<Vec<u32>>, io: impl std::future::Future<Output = ()>) {
+    let routes = plane.read();
+    io.await;
+    drop(routes);
+}

@@ -38,20 +38,25 @@ fn run_workspace() -> ExitCode {
     }
 }
 
-/// Each fixture file is named for the single rule it must trip.
-const FIXTURES: &[(&str, &str)] = &[
-    ("hot_path_alloc.rs", "alloc"),
-    ("hot_path_lock.rs", "hot-path-lock"),
-    ("unwrap_in_lib.rs", "unwrap"),
-    ("nondet.rs", "nondet"),
-    ("sctplite_guard.rs", "await-guard"),
-    ("metric_names.rs", "metric-name"),
+/// Each fixture file is named for the single rule it must trip. The
+/// middle column is the synthesized workspace-relative path the fixture
+/// is linted *as* — path-scoped rules (sctplite/wire scoping, `src/`
+/// classification) key off it, so each fixture pins the exact scope it
+/// exercises.
+const FIXTURES: &[(&str, &str, &str)] = &[
+    ("hot_path_alloc.rs", "crates/sctplite_fixture/src/hot_path_alloc.rs", "alloc"),
+    ("hot_path_lock.rs", "crates/sctplite_fixture/src/hot_path_lock.rs", "hot-path-lock"),
+    ("unwrap_in_lib.rs", "crates/sctplite_fixture/src/unwrap_in_lib.rs", "unwrap"),
+    ("nondet.rs", "crates/sctplite_fixture/src/nondet.rs", "nondet"),
+    ("sctplite_guard.rs", "crates/sctplite_fixture/src/sctplite_guard.rs", "await-guard"),
+    ("wire_guard.rs", "crates/core_fixture/src/wire_guard.rs", "await-guard"),
+    ("metric_names.rs", "crates/sctplite_fixture/src/metric_names.rs", "metric-name"),
 ];
 
 fn run_self_test() -> ExitCode {
     let dir = manifest_dir().join("fixtures");
     let mut failed = false;
-    for &(file, rule) in FIXTURES {
+    for &(file, rel, rule) in FIXTURES {
         let path = dir.join(file);
         let src = match std::fs::read_to_string(&path) {
             Ok(s) => s,
@@ -61,10 +66,7 @@ fn run_self_test() -> ExitCode {
                 continue;
             }
         };
-        // Fixture paths are synthesized so path-scoped rules (sctplite,
-        // src/ classification) apply.
-        let rel = format!("crates/sctplite_fixture/src/{file}");
-        let violations = scale_lint::rules::check_file(&rel, &src);
+        let violations = scale_lint::rules::check_file(rel, &src);
         let fired = violations.iter().any(|v| v.rule == rule);
         let stray: Vec<_> = violations.iter().filter(|v| v.rule != rule).collect();
         if fired && stray.is_empty() {

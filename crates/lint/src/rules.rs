@@ -53,7 +53,9 @@ pub fn classify(path: &Path) -> FileKind {
         FileKind::Bench
     } else if p.contains("/examples/") || p.starts_with("examples/") {
         FileKind::Example
-    } else if p.contains("/src/bin/") {
+    } else if p.contains("/src/bin/") || p.starts_with("src/bin/") {
+        // The second arm catches the workspace root package, whose
+        // binaries lint under the relative path `src/bin/...`.
         FileKind::Bin
     } else {
         FileKind::Lib
@@ -248,8 +250,12 @@ pub fn check_nondet(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Ve
 /// `await-guard`: a guard from a *blocking* `.lock()`/`.read()`/`.write()`
 /// may not live across an `.await` (async mutexes acquired via
 /// `.lock().await` are exempt — they are designed to be held).
+///
+/// Scoped to the async-transport code: the sctplite crate and the wire
+/// deployment modules (`core::wire`, `sim::wire_run`, `wire_load`),
+/// which mix shared-state locks with socket awaits on the same threads.
 pub fn check_await_guard(path: &str, scanned: &Scanned, scopes: &Scopes, out: &mut Vec<Violation>) {
-    if !path.contains("sctplite") {
+    if !(path.contains("sctplite") || path.contains("wire")) {
         return;
     }
     #[derive(Debug)]
@@ -341,6 +347,7 @@ const KNOWN_COMPONENTS: &[&str] = &[
     "mmp",       // MMP workers
     "obs",       // observability self-metrics
     "sim",       // queueing simulator instrumentation
+    "wire",      // multi-process socket deployment (MLB link metrics)
 ];
 
 /// Collapse `{...}` interpolations (dynamic id segments) into one

@@ -611,10 +611,26 @@ impl MmeCore {
         seq: u8,
         short_mac: [u8; 2],
     ) -> Result<Vec<Outgoing>, MmeError> {
-        let ctx = self
-            .contexts
-            .get_mut(&m_tmsi)
-            .ok_or(MmeError::UnknownUe("service request"))?;
+        let Some(ctx) = self.contexts.get_mut(&m_tmsi) else {
+            // No context anywhere for this S-TMSI: the device's state
+            // died with an engine before it was ever replicated (§4.6).
+            // Answer with Service Reject #9 ("UE identity cannot be
+            // derived by the network") so the device drops its GUTI and
+            // falls back to a fresh IMSI attach, instead of erroring a
+            // procedure the eNodeB would wait on forever.
+            self.stats.rejects += 1;
+            let reject = EmmMessage::ServiceReject {
+                cause: scale_nas::emm_cause::UE_IDENTITY_UNKNOWN,
+            };
+            return Ok(vec![Outgoing::S1ap {
+                enb_id,
+                pdu: S1apPdu::DownlinkNasTransport {
+                    mme_ue_id: 0,
+                    enb_ue_id,
+                    nas_pdu: reject.encode(),
+                },
+            }]);
+        };
         let Some(sec) = &ctx.security else {
             return Err(MmeError::Nas(NasError::NoSecurityContext));
         };
@@ -670,10 +686,23 @@ impl MmeCore {
         tai: Tai,
     ) -> Result<Vec<Outgoing>, MmeError> {
         let t3412 = self.config.t3412_s;
-        let ctx = self
-            .contexts
-            .get_mut(&m_tmsi)
-            .ok_or(MmeError::UnknownUe("tau"))?;
+        let Some(ctx) = self.contexts.get_mut(&m_tmsi) else {
+            // Same recovery contract as the Service Request path: an
+            // unknown S-TMSI gets TAU Reject #9, sending the device
+            // back to a fresh IMSI attach.
+            self.stats.rejects += 1;
+            let reject = EmmMessage::TauReject {
+                cause: scale_nas::emm_cause::UE_IDENTITY_UNKNOWN,
+            };
+            return Ok(vec![Outgoing::S1ap {
+                enb_id,
+                pdu: S1apPdu::DownlinkNasTransport {
+                    mme_ue_id: 0,
+                    enb_ue_id,
+                    nas_pdu: reject.encode(),
+                },
+            }]);
+        };
         self.stats.taus += 1;
         ctx.tai = tai;
         if !ctx.tai_list.contains(&tai) {

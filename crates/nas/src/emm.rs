@@ -39,6 +39,7 @@ pub mod msg_type {
     pub const TAU_COMPLETE: u8 = 0x4a;
     pub const TAU_REJECT: u8 = 0x4b;
     pub const SERVICE_REQUEST: u8 = 0x4d;
+    pub const SERVICE_REJECT: u8 = 0x4e;
     pub const AUTHENTICATION_REQUEST: u8 = 0x52;
     pub const AUTHENTICATION_RESPONSE: u8 = 0x53;
     pub const AUTHENTICATION_REJECT: u8 = 0x54;
@@ -85,6 +86,15 @@ pub enum EmmMessage {
         ksi: u8,
         seq: u8,
         short_mac: [u8; 2],
+    },
+    /// MME → UE: the Service Request cannot be served. Cause
+    /// `UE_IDENTITY_UNKNOWN` (#9, "UE identity cannot be derived by the
+    /// network") tells the device to drop its GUTI and security context
+    /// and fall back to a fresh IMSI attach — the §4.6 recovery path
+    /// when a failover loses an Active-mode context that was never
+    /// replicated.
+    ServiceReject {
+        cause: u8,
     },
     /// MME → UE: EPS AKA challenge (RAND/AUTN from the HSS vector).
     AuthenticationRequest {
@@ -147,6 +157,7 @@ impl EmmMessage {
             EmmMessage::AttachComplete => ATTACH_COMPLETE,
             EmmMessage::AttachReject { .. } => ATTACH_REJECT,
             EmmMessage::ServiceRequest { .. } => SERVICE_REQUEST,
+            EmmMessage::ServiceReject { .. } => SERVICE_REJECT,
             EmmMessage::AuthenticationRequest { .. } => AUTHENTICATION_REQUEST,
             EmmMessage::AuthenticationResponse { .. } => AUTHENTICATION_RESPONSE,
             EmmMessage::AuthenticationReject => AUTHENTICATION_REJECT,
@@ -171,7 +182,9 @@ impl EmmMessage {
             | EmmMessage::AttachAccept { .. }
             | EmmMessage::AttachComplete
             | EmmMessage::AttachReject { .. } => "attach",
-            EmmMessage::ServiceRequest { .. } => "service-request",
+            EmmMessage::ServiceRequest { .. } | EmmMessage::ServiceReject { .. } => {
+                "service-request"
+            }
             EmmMessage::AuthenticationRequest { .. }
             | EmmMessage::AuthenticationResponse { .. }
             | EmmMessage::AuthenticationReject
@@ -235,6 +248,7 @@ impl EmmMessage {
             | EmmMessage::AuthenticationFailure { cause }
             | EmmMessage::SecurityModeReject { cause }
             | EmmMessage::TauReject { cause }
+            | EmmMessage::ServiceReject { cause }
             | EmmMessage::EmmStatus { cause } => w.u8(*cause),
             EmmMessage::ServiceRequest { ksi, seq, short_mac } => {
                 w.u8(*ksi);
@@ -326,6 +340,9 @@ impl EmmMessage {
                 ksi: r.u8("ksi")?,
                 seq: r.u8("seq")?,
                 short_mac: r.array("short mac")?,
+            },
+            SERVICE_REJECT => EmmMessage::ServiceReject {
+                cause: r.u8("cause")?,
             },
             AUTHENTICATION_REQUEST => EmmMessage::AuthenticationRequest {
                 ksi: r.u8("ksi")?,
@@ -436,6 +453,7 @@ mod tests {
             EmmMessage::AttachComplete,
             EmmMessage::AttachReject { cause: emm_cause::CONGESTION },
             EmmMessage::ServiceRequest { ksi: 1, seq: 12, short_mac: [0xab, 0xcd] },
+            EmmMessage::ServiceReject { cause: emm_cause::UE_IDENTITY_UNKNOWN },
             EmmMessage::AuthenticationRequest { ksi: 1, rand: [1; 16], autn: [2; 16] },
             EmmMessage::AuthenticationResponse { res: [3; 8] },
             EmmMessage::AuthenticationReject,

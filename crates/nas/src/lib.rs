@@ -68,6 +68,7 @@ mod proptests {
                 EmmMessage::AuthenticationRequest { ksi: ksi & 0x0f, rand, autn }
             }),
             any::<u8>().prop_map(|c| EmmMessage::AttachReject { cause: c }),
+            any::<u8>().prop_map(|c| EmmMessage::ServiceReject { cause: c }),
             (any::<u8>(), any::<u8>(), any::<[u8; 2]>()).prop_map(|(ksi, seq, mac)| {
                 EmmMessage::ServiceRequest { ksi: ksi & 0x0f, seq, short_mac: mac }
             }),

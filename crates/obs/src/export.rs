@@ -20,6 +20,28 @@ pub fn prometheus_text(reg: &Registry) -> String {
     out
 }
 
+/// Render every scalar metric (counters and gauges) in `reg` as one
+/// `name=value` line, sorted by name.
+///
+/// This is the export surface for the multi-process wire deployment
+/// (DESIGN.md §14): child processes report through single stdout lines
+/// the parent greps, where the multi-line Prometheus exposition does
+/// not fit. Distributions are deliberately omitted — percentile fields
+/// already travel in the roles' `REPORT` lines.
+pub fn report_kv(reg: &Registry) -> String {
+    let mut pairs: Vec<String> = reg
+        .entries()
+        .into_iter()
+        .filter_map(|e| match e.metric {
+            Metric::Counter(c) => Some(format!("{}={}", e.name, c.get())),
+            Metric::Gauge(g) => Some(format!("{}={}", e.name, g.get())),
+            _ => None,
+        })
+        .collect();
+    pairs.sort();
+    pairs.join(" ")
+}
+
 fn render_entry(out: &mut String, e: &Entry) {
     let name = &e.name;
     let _ = writeln!(out, "# HELP {name} {}", e.help);
@@ -400,6 +422,17 @@ mod tests {
         p.push(9.0, 0.003);
         p.set_boundaries(4.0, 8.0);
         reg
+    }
+
+    #[test]
+    fn report_kv_is_one_sorted_scalar_line() {
+        let reg = populated_registry();
+        let line = report_kv(&reg);
+        assert_eq!(
+            line,
+            "scale_mlb_routes_total=1234 scale_mlb_vm0_load=0.37"
+        );
+        assert!(!line.contains('\n'));
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!   binaries read identical statistics through the registry.
 //! * [`Registry`] — a thread-safe, idempotent name→metric directory
 //!   shared by every component (and every sweep thread).
-//! * [`prometheus_text`] / [`Snapshot`] — the two export surfaces:
-//!   Prometheus text exposition and a JSON snapshot that round-trips.
+//! * [`prometheus_text`] / [`Snapshot`] / [`report_kv`] — the export
+//!   surfaces: Prometheus text exposition, a JSON snapshot that
+//!   round-trips, and a one-line `k=v` rendering of the scalar metrics
+//!   for the wire deployment's stdout report protocol.
 //!
 //! The metric naming scheme, bucket layout and overhead budget are
 //! documented in the repository's DESIGN.md §8.
@@ -50,7 +52,8 @@ mod registry;
 mod series;
 
 pub use export::{
-    prometheus_text, CounterSnap, GaugeSnap, HistogramSnap, PhasedSnap, SeriesSnap, Snapshot,
+    prometheus_text, report_kv, CounterSnap, GaugeSnap, HistogramSnap, PhasedSnap, SeriesSnap,
+    Snapshot,
 };
 pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
 pub use registry::{Entry, Metric, Registry};

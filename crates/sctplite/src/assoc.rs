@@ -115,6 +115,9 @@ impl Association {
         if self.state != AssocState::Established {
             return Err(SctpError::BadState("send requires Established"));
         }
+        if payload.len() > crate::chunk::MAX_PAYLOAD {
+            return Err(SctpError::Oversized(payload.len()));
+        }
         let seq = self.tx_seq.entry(stream_id).or_insert(0);
         self.egress.push_back(Frame {
             tag: self.peer_tag,
@@ -454,6 +457,21 @@ mod tests {
         c.abort(7);
         pump(&mut c, &mut s);
         assert_eq!(s.poll_event(), Some(Event::Aborted { reason: 7 }));
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_encode() {
+        let (mut c, _s) = established_pair();
+        let too_big = Bytes::from(vec![0u8; crate::chunk::MAX_PAYLOAD + 1]);
+        assert_eq!(
+            c.send(0, 18, too_big).unwrap_err(),
+            SctpError::Oversized(crate::chunk::MAX_PAYLOAD + 1)
+        );
+        // At the limit exactly, the frame must round-trip.
+        let max = Bytes::from(vec![0u8; crate::chunk::MAX_PAYLOAD]);
+        c.send(0, 18, max.clone()).unwrap();
+        let frame = c.poll_egress().unwrap();
+        assert_eq!(Frame::decode(frame.encode()).unwrap(), frame);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub enum SctpError {
     BadState(&'static str),
     /// Per-stream sequence gap exceeded the reorder window.
     SequenceGap { stream: u16, got: u32, expected: u32 },
+    /// The reserved flags byte was non-zero (corrupt or non-canonical).
+    NonzeroFlags(u8),
+    /// Bytes left over after the declared chunk body, or a fixed-size
+    /// chunk body longer than its wire format: a canonical encoder
+    /// never produces either, so the frame is corrupt.
+    TrailingBytes(&'static str),
+    /// Application payload too large for the 16-bit chunk length.
+    Oversized(usize),
 }
 
 impl fmt::Display for SctpError {
@@ -66,6 +74,11 @@ impl fmt::Display for SctpError {
                 f,
                 "stream {stream} sequence gap: got {got}, expected {expected}"
             ),
+            SctpError::NonzeroFlags(b) => write!(f, "non-zero reserved flags {b:#04x}"),
+            SctpError::TrailingBytes(w) => write!(f, "trailing bytes after {w}"),
+            SctpError::Oversized(n) => {
+                write!(f, "payload of {n} bytes exceeds the 16-bit chunk length")
+            }
         }
     }
 }
@@ -151,24 +164,36 @@ impl Frame {
         out.freeze()
     }
 
-    /// Parse one frame.
+    /// Parse one frame. Strict and canonical: the reserved flags byte
+    /// must be zero, the declared length must consume the buffer
+    /// exactly, and fixed-size chunk bodies must be exactly their wire
+    /// size — any successful decode re-encodes to the identical bytes.
     pub fn decode(mut buf: Bytes) -> Result<Frame, SctpError> {
         if buf.remaining() < 8 {
             return Err(SctpError::Truncated("frame header"));
         }
         let tag = buf.get_u32();
         let ty_code = buf.get_u8();
-        let _flags = buf.get_u8();
+        let flags = buf.get_u8();
+        if flags != 0 {
+            return Err(SctpError::NonzeroFlags(flags));
+        }
         let len = buf.get_u16() as usize;
         if buf.remaining() < len {
             return Err(SctpError::Truncated("chunk body"));
         }
         let mut body = buf.copy_to_bytes(len);
+        if buf.remaining() != 0 {
+            return Err(SctpError::TrailingBytes("chunk body"));
+        }
         let ty = ChunkType::from_code(ty_code).ok_or(SctpError::UnknownChunk(ty_code))?;
         let chunk = match ty {
             ChunkType::Init | ChunkType::InitAck => {
                 if body.remaining() < 6 {
                     return Err(SctpError::Truncated("init body"));
+                }
+                if body.remaining() > 6 {
+                    return Err(SctpError::TrailingBytes("init body"));
                 }
                 let init_tag = body.get_u32();
                 let num_streams = body.get_u16();
@@ -197,6 +222,9 @@ impl Frame {
                 if body.remaining() < 8 {
                     return Err(SctpError::Truncated("heartbeat nonce"));
                 }
+                if body.remaining() > 8 {
+                    return Err(SctpError::TrailingBytes("heartbeat nonce"));
+                }
                 let nonce = body.get_u64();
                 if matches!(ty, ChunkType::Heartbeat) {
                     Chunk::Heartbeat { nonce }
@@ -204,11 +232,22 @@ impl Frame {
                     Chunk::HeartbeatAck { nonce }
                 }
             }
-            ChunkType::Shutdown => Chunk::Shutdown,
-            ChunkType::ShutdownAck => Chunk::ShutdownAck,
+            ChunkType::Shutdown | ChunkType::ShutdownAck => {
+                if body.remaining() != 0 {
+                    return Err(SctpError::TrailingBytes("shutdown body"));
+                }
+                if matches!(ty, ChunkType::Shutdown) {
+                    Chunk::Shutdown
+                } else {
+                    Chunk::ShutdownAck
+                }
+            }
             ChunkType::Abort => {
                 if body.remaining() < 1 {
                     return Err(SctpError::Truncated("abort reason"));
+                }
+                if body.remaining() > 1 {
+                    return Err(SctpError::TrailingBytes("abort reason"));
                 }
                 Chunk::Abort {
                     reason: body.get_u8(),
@@ -218,6 +257,10 @@ impl Frame {
         Ok(Frame { tag, chunk })
     }
 }
+
+/// Largest application payload a DATA chunk can carry: the 16-bit
+/// chunk length covers the 10-byte data header plus the payload.
+pub const MAX_PAYLOAD: usize = u16::MAX as usize - 10;
 
 /// Payload protocol identifiers carried in DATA chunks.
 pub mod ppid {
@@ -287,6 +330,58 @@ mod tests {
         assert_eq!(
             Frame::decode(Bytes::copy_from_slice(&raw)).unwrap_err(),
             SctpError::Truncated("chunk body")
+        );
+    }
+
+    #[test]
+    fn nonzero_flags_rejected() {
+        let mut bytes = Frame { tag: 1, chunk: Chunk::Shutdown }.encode().to_vec();
+        bytes[5] = 0x80;
+        assert_eq!(
+            Frame::decode(Bytes::from(bytes)).unwrap_err(),
+            SctpError::NonzeroFlags(0x80)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        // Garbage appended after the declared chunk body: the decoder
+        // must not silently over-read (or under-read) the buffer.
+        let mut bytes = Frame {
+            tag: 1,
+            chunk: Chunk::Heartbeat { nonce: 7 },
+        }
+        .encode()
+        .to_vec();
+        bytes.push(0xaa);
+        assert_eq!(
+            Frame::decode(Bytes::from(bytes)).unwrap_err(),
+            SctpError::TrailingBytes("chunk body")
+        );
+    }
+
+    #[test]
+    fn oversize_fixed_body_rejected() {
+        // A HEARTBEAT whose declared length exceeds its wire format: a
+        // canonical encoder never emits this, so it is corrupt.
+        let mut bytes = Frame {
+            tag: 1,
+            chunk: Chunk::Heartbeat { nonce: 7 },
+        }
+        .encode()
+        .to_vec();
+        bytes[7] = 9; // declared body length 9 (> nonce's 8)
+        bytes.push(0);
+        assert_eq!(
+            Frame::decode(Bytes::from(bytes)).unwrap_err(),
+            SctpError::TrailingBytes("heartbeat nonce")
+        );
+        let mut shutdown = Frame { tag: 1, chunk: Chunk::Shutdown }.encode().to_vec();
+        shutdown[7] = 1;
+        shutdown.push(0);
+        assert_eq!(
+            Frame::decode(Bytes::from(shutdown)).unwrap_err(),
+            SctpError::TrailingBytes("shutdown body")
         );
     }
 }

@@ -25,15 +25,44 @@ pub mod memory;
 pub mod tokio_transport;
 
 pub use assoc::{AssocState, Association, Event};
-pub use chunk::{ppid, Chunk, ChunkType, Frame, SctpError};
+pub use chunk::{ppid, Chunk, ChunkType, Frame, SctpError, MAX_PAYLOAD};
 pub use memory::{FaultInjector, MemoryLink};
-pub use tokio_transport::{LinkMetrics, SctpListener, SctpStream, StreamEvent, TransportError};
+pub use tokio_transport::{
+    LinkMetrics, SctpListener, SctpRecvHalf, SctpSendHalf, SctpStream, StreamEvent, TransportError,
+};
 
 #[cfg(test)]
 mod proptests {
     use super::*;
     use bytes::Bytes;
     use proptest::prelude::*;
+
+    /// Any chunk the canonical encoder can produce.
+    fn arb_chunk() -> impl Strategy<Value = Chunk> {
+        prop_oneof![
+            (any::<u32>(), any::<u16>())
+                .prop_map(|(init_tag, num_streams)| Chunk::Init { init_tag, num_streams }),
+            (any::<u32>(), any::<u16>())
+                .prop_map(|(init_tag, num_streams)| Chunk::InitAck { init_tag, num_streams }),
+            (
+                any::<u16>(),
+                any::<u32>(),
+                any::<u32>(),
+                proptest::collection::vec(any::<u8>(), 0..256)
+            )
+                .prop_map(|(stream_id, seq, ppid, payload)| Chunk::Data {
+                    stream_id,
+                    seq,
+                    ppid,
+                    payload: Bytes::from(payload),
+                }),
+            any::<u64>().prop_map(|nonce| Chunk::Heartbeat { nonce }),
+            any::<u64>().prop_map(|nonce| Chunk::HeartbeatAck { nonce }),
+            Just(Chunk::Shutdown),
+            Just(Chunk::ShutdownAck),
+            any::<u8>().prop_map(|reason| Chunk::Abort { reason }),
+        ]
+    }
 
     proptest! {
         #[test]
@@ -45,8 +74,52 @@ mod proptests {
         }
 
         #[test]
+        fn every_chunk_kind_roundtrips(tag in any::<u32>(), chunk in arb_chunk()) {
+            let f = Frame { tag, chunk };
+            prop_assert_eq!(Frame::decode(f.encode()).unwrap(), f);
+        }
+
+        #[test]
         fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Frame::decode(Bytes::from(data));
+        }
+
+        /// The adversarial-input property (ISSUE 9): flip any byte of a
+        /// valid frame and the decoder either rejects the buffer or
+        /// produces a value that re-encodes to *exactly* the mutated
+        /// bytes. Combined with `decode_never_panics` this rules out
+        /// silent mis-parses, over-reads and non-canonical acceptance:
+        /// whatever decodes is precisely what a canonical encoder emits.
+        #[test]
+        fn byte_mutations_decode_canonically(tag in any::<u32>(), chunk in arb_chunk(),
+                                             pos in any::<usize>(),
+                                             xor in 1u8..=255) {
+            let valid = Frame { tag, chunk }.encode();
+            let mut mutated = valid.to_vec();
+            let i = pos % mutated.len();
+            mutated[i] ^= xor;
+            let mutated = Bytes::from(mutated);
+            if let Ok(parsed) = Frame::decode(mutated.clone()) {
+                prop_assert_eq!(parsed.encode(), mutated);
+            }
+        }
+
+        /// Truncating or extending a valid frame is always detected —
+        /// the declared length must consume the buffer exactly, so the
+        /// decoder cannot over-read past one message into the next.
+        #[test]
+        fn length_mutations_always_error(tag in any::<u32>(), chunk in arb_chunk(),
+                                         delta in 1usize..16, extend in any::<bool>()) {
+            let valid = Frame { tag, chunk }.encode();
+            let mutated = if extend {
+                let mut v = valid.to_vec();
+                v.extend(std::iter::repeat_n(0xAA, delta));
+                v
+            } else {
+                let keep = valid.len().saturating_sub(delta);
+                valid[..keep].to_vec()
+            };
+            prop_assert!(Frame::decode(Bytes::from(mutated)).is_err());
         }
 
         #[test]

@@ -9,9 +9,12 @@
 
 use crate::assoc::{Association, Event};
 use crate::chunk::{Frame, SctpError};
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
 use scale_obs::{Counter, Histogram, Registry};
 use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -59,10 +62,20 @@ impl From<SctpError> for TransportError {
     }
 }
 
+/// Length-prefix a frame into the single buffer the TCP write takes:
+/// one write per frame means a concurrent writer (the split-stream
+/// egress thread) can never interleave a length word with another
+/// frame's body.
+fn frame_to_wire(frame: &Frame) -> Bytes {
+    let body = frame.encode();
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.put_slice(&body);
+    out.freeze()
+}
+
 async fn write_frame(w: &mut OwnedWriteHalf, frame: &Frame) -> Result<(), TransportError> {
-    let bytes = frame.encode();
-    w.write_u32(bytes.len() as u32).await?;
-    w.write_all(&bytes).await?;
+    w.write_all(&frame_to_wire(frame)).await?;
     Ok(())
 }
 
@@ -118,6 +131,13 @@ impl LinkMetrics {
     /// Number of re-establishments so far.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.get()
+    }
+
+    /// Count one re-establishment. [`SctpStream::reconnect`] calls this
+    /// itself; a supervisor that replaces a dead link with a *fresh*
+    /// connect + [`SctpStream::into_split`] records the event here.
+    pub fn mark_reconnect(&self) {
+        self.reconnects.inc();
     }
 }
 
@@ -331,6 +351,226 @@ impl SctpStream {
             }
         }
     }
+
+    /// Split into an independently-usable [`SctpSendHalf`] and
+    /// [`SctpRecvHalf`] so one task can block in `next_event` while
+    /// another sends — the shape every wire-deployment role needs
+    /// (a reader pump per link plus a router thread that replies).
+    ///
+    /// Outbound frames — whether queued by the send half or generated
+    /// by the receive half (heartbeat acks, shutdown handshake) — go
+    /// through a *bounded* egress queue of `egress_capacity` frames
+    /// drained by a dedicated writer task. A full queue blocks the
+    /// sender: that is the transport's backpressure. A shedding caller
+    /// checks [`SctpSendHalf::pending`] against
+    /// [`SctpSendHalf::capacity`] *before* sending.
+    ///
+    /// `link_delay`, attached metrics and outstanding pings do not
+    /// carry over; a supervisor owns RTT bookkeeping for split links.
+    pub fn into_split(self, egress_capacity: usize) -> (SctpSendHalf, SctpRecvHalf) {
+        let capacity = egress_capacity.max(1);
+        let shared = Arc::new(SplitShared {
+            assoc: Mutex::new(self.assoc),
+            depth: AtomicUsize::new(0),
+        });
+        let (tx, rx) = sync_channel::<Bytes>(capacity);
+        let writer_shared = Arc::clone(&shared);
+        let mut wr = self.wr;
+        // Writer task: drains the egress queue onto the TCP write half,
+        // one write per frame. Exits when both halves are gone (every
+        // sender dropped) or the peer stops accepting bytes; dropping
+        // the write half then shuts down the TCP write direction.
+        tokio::spawn(async move {
+            while let Ok(bytes) = rx.recv() {
+                let res = wr.write_all(&bytes).await;
+                writer_shared.depth.fetch_sub(1, Ordering::Relaxed);
+                if res.is_err() {
+                    break;
+                }
+            }
+        });
+        (
+            SctpSendHalf {
+                shared: Arc::clone(&shared),
+                tx: tx.clone(),
+                capacity,
+            },
+            SctpRecvHalf {
+                shared,
+                rd: self.rd,
+                tx,
+            },
+        )
+    }
+}
+
+/// State shared by the two halves of a split [`SctpStream`].
+struct SplitShared {
+    /// The sans-IO state machine. Guard discipline: lock, mutate, drain
+    /// egress into a local buffer, unlock — a guard is never held
+    /// across an `.await` (scale-lint's await-guard rule watches this
+    /// file).
+    assoc: Mutex<Association>,
+    /// Frames handed to the writer task and not yet on the wire.
+    depth: AtomicUsize,
+}
+
+/// Encode everything the association wants to transmit. Called with
+/// the lock held; the actual channel pushes happen after it is
+/// released.
+fn drain_wire(a: &mut Association) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    while let Some(f) = a.poll_egress() {
+        out.push(frame_to_wire(&f));
+    }
+    out
+}
+
+/// Queue one wire buffer for the writer task, counting it in `depth`.
+/// A disconnected channel means the writer saw a TCP failure and
+/// exited — to the caller the peer is gone.
+fn enqueue(
+    tx: &SyncSender<Bytes>,
+    shared: &SplitShared,
+    bytes: Bytes,
+) -> Result<(), TransportError> {
+    shared.depth.fetch_add(1, Ordering::Relaxed);
+    tx.send(bytes).map_err(|_| {
+        shared.depth.fetch_sub(1, Ordering::Relaxed);
+        TransportError::Eof
+    })
+}
+
+/// The sending side of a split [`SctpStream`]. Every method is
+/// synchronous: it runs the state machine under a short lock, then
+/// pushes the encoded frames onto the bounded egress queue (blocking
+/// if the queue is full — see [`Self::pending`] to shed instead).
+#[derive(Clone)]
+pub struct SctpSendHalf {
+    shared: Arc<SplitShared>,
+    tx: SyncSender<Bytes>,
+    capacity: usize,
+}
+
+impl SctpSendHalf {
+    /// Send one application message on `stream_id`.
+    pub fn send(&self, stream_id: u16, ppid: u32, payload: Bytes) -> Result<(), TransportError> {
+        let wire = {
+            let mut a = self.shared.assoc.lock();
+            a.send(stream_id, ppid, payload)?;
+            drain_wire(&mut a)
+        };
+        self.push(wire)
+    }
+
+    /// Send a HEARTBEAT probe; the ack surfaces on the receive half.
+    pub fn ping(&self, nonce: u64) -> Result<(), TransportError> {
+        let wire = {
+            let mut a = self.shared.assoc.lock();
+            a.heartbeat(nonce)?;
+            drain_wire(&mut a)
+        };
+        self.push(wire)
+    }
+
+    /// Begin the graceful SHUTDOWN handshake. The peer's ack completes
+    /// it on the receive half (which then yields
+    /// [`TransportError::Closed`]).
+    pub fn shutdown_send(&self) -> Result<(), TransportError> {
+        let wire = {
+            let mut a = self.shared.assoc.lock();
+            a.shutdown();
+            drain_wire(&mut a)
+        };
+        self.push(wire)
+    }
+
+    /// Frames queued for the writer task but not yet written. At
+    /// [`Self::capacity`], the next send blocks — a shedding caller
+    /// treats that as "link congested" and drops low-priority work
+    /// instead.
+    pub fn pending(&self) -> usize {
+        self.shared.depth.load(Ordering::Relaxed)
+    }
+
+    /// Bound of the egress queue chosen at split time.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn push(&self, wire: Vec<Bytes>) -> Result<(), TransportError> {
+        for bytes in wire {
+            enqueue(&self.tx, &self.shared, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+/// The receiving side of a split [`SctpStream`]. Protocol frames that
+/// demand a response (heartbeats, shutdown) are answered through the
+/// same egress queue the send half uses.
+pub struct SctpRecvHalf {
+    shared: Arc<SplitShared>,
+    rd: OwnedReadHalf,
+    tx: SyncSender<Bytes>,
+}
+
+impl SctpRecvHalf {
+    /// Receive the next association event; same contract as
+    /// [`SctpStream::next_event`].
+    pub async fn next_event(&mut self) -> Result<StreamEvent, TransportError> {
+        loop {
+            let (ev, wire) = {
+                let mut a = self.shared.assoc.lock();
+                (a.poll_event(), drain_wire(&mut a))
+            };
+            for bytes in wire {
+                enqueue(&self.tx, &self.shared, bytes)?;
+            }
+            if let Some(ev) = ev {
+                match ev {
+                    Event::Data {
+                        stream_id,
+                        ppid,
+                        payload,
+                    } => {
+                        return Ok(StreamEvent::Data {
+                            stream_id,
+                            ppid,
+                            payload,
+                        })
+                    }
+                    Event::HeartbeatAck { nonce } => {
+                        return Ok(StreamEvent::HeartbeatAck { nonce })
+                    }
+                    Event::Closed => return Err(TransportError::Closed),
+                    Event::Aborted { reason } => return Err(TransportError::Aborted(reason)),
+                    Event::Established => {}
+                }
+                continue;
+            }
+            let frame = read_frame(&mut self.rd).await?;
+            {
+                let mut a = self.shared.assoc.lock();
+                a.handle_frame(frame)?;
+            }
+        }
+    }
+
+    /// Receive the next application message `(stream_id, ppid, payload)`,
+    /// handling heartbeat acks transparently.
+    pub async fn recv(&mut self) -> Result<(u16, u32, Bytes), TransportError> {
+        loop {
+            if let StreamEvent::Data {
+                stream_id,
+                ppid,
+                payload,
+            } = self.next_event().await?
+            {
+                return Ok((stream_id, ppid, payload));
+            }
+        }
+    }
 }
 
 /// What [`SctpStream::next_event`] yields.
@@ -467,6 +707,82 @@ mod tests {
         }
         client.shutdown().await.unwrap();
         server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn split_halves_echo_ack_and_clean_close() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let s = listener.accept().await.unwrap();
+            let (tx, mut rx) = s.into_split(16);
+            loop {
+                match rx.next_event().await {
+                    Ok(StreamEvent::Data {
+                        stream_id,
+                        ppid,
+                        payload,
+                    }) => tx.send(stream_id, ppid, payload).unwrap(),
+                    Ok(StreamEvent::HeartbeatAck { .. }) => {}
+                    Err(TransportError::Closed) => break,
+                    Err(e) => panic!("server: {e}"),
+                }
+            }
+        });
+        let client = SctpStream::connect(&addr, 0x77).await.unwrap();
+        let (tx, mut rx) = client.into_split(16);
+        assert_eq!(tx.capacity(), 16);
+        tx.ping(0xabc).unwrap();
+        for i in 0..50u32 {
+            tx.send(2, ppid::S1AP, Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
+        }
+        let (mut seen, mut acked) = (0u32, false);
+        while seen < 50 {
+            match rx.next_event().await.unwrap() {
+                StreamEvent::Data { payload, .. } => {
+                    assert_eq!(u32::from_be_bytes(payload[..].try_into().unwrap()), seen);
+                    seen += 1;
+                }
+                StreamEvent::HeartbeatAck { nonce } => {
+                    assert_eq!(nonce, 0xabc);
+                    acked = true;
+                }
+            }
+        }
+        assert!(acked, "peer's event pump must answer the ping");
+        tx.shutdown_send().unwrap();
+        match rx.next_event().await {
+            Err(TransportError::Closed) => {}
+            other => panic!("expected clean close, got {other:?}"),
+        }
+        assert_eq!(tx.pending(), 0, "egress must be drained at close");
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn split_send_half_sees_peer_death_as_eof() {
+        let mut listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = tokio::spawn(async move {
+            let _s = listener.accept().await.unwrap();
+            // Dropped: TCP closes without a shutdown handshake.
+        });
+        let client = SctpStream::connect(&addr, 0x78).await.unwrap();
+        let (tx, mut rx) = client.into_split(4);
+        server.await.unwrap();
+        assert!(matches!(rx.next_event().await, Err(TransportError::Eof)));
+        // Once the reader saw EOF and both TCP halves are dead, pushes
+        // eventually fail too (writer exits on its first failed write).
+        let mut saw_err = false;
+        for i in 0..500u32 {
+            if tx.send(0, 0, Bytes::from(i.to_be_bytes().to_vec())).is_err() {
+                saw_err = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(saw_err, "send half must eventually surface the dead link");
     }
 
     #[tokio::test]

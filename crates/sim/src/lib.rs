@@ -23,7 +23,13 @@
 //! * [`shard_driver`] — the *multi-core* scale-out driver: real MMP
 //!   engines sharded across worker threads over the epoch-published
 //!   routing plane, driven by per-shard access cells through bounded
-//!   mailboxes (the `scale_out` mega-bench).
+//!   mailboxes (the `scale_out` mega-bench);
+//! * [`openloop`] — seeded Poisson arrival schedules for offered-load
+//!   (open-loop) drives;
+//! * [`wire_run`] — the *multi-process* deployment runtime: role
+//!   main-loops for the eNB/MLB/MMP processes over `sctplite` sockets,
+//!   parent-side topology orchestration, and the in-process shuttle
+//!   parity oracle (the `wire_load` mega-bench).
 
 #![forbid(unsafe_code)]
 
@@ -31,17 +37,26 @@ pub mod diurnal;
 pub mod fault;
 pub mod geo;
 pub mod metrics;
+pub mod openloop;
 pub mod queueing;
 pub mod shard_driver;
+pub mod testbed;
+pub mod wire_run;
 pub mod workload;
 
 pub use diurnal::{DiurnalTrace, TraceShape};
 pub use fault::{ChaosConfig, ChaosReport, ChaosRng, ChaosSim, FaultEvent, FaultKind, FaultPlan};
 pub use geo::{GeoDevice, GeoPlacement, GeoSim};
 pub use metrics::{ResultRow, Samples, TimeSeries};
+pub use openloop::poisson_schedule;
+pub use testbed::{run_testbed, TestbedReport};
 pub use shard_driver::{
     run_scale_out, run_scale_out_observed, LatencySummary, ScaleOutConfig, ScaleOutCounts,
     ScaleOutReport,
+};
+pub use wire_run::{
+    run_enb, run_mlb, run_mmp, run_shuttle, spawn_topology, WireCounts, WireDeployment,
+    WireLatency, WireMmpTotals, WireMode, WireOutcome, WireRunConfig,
 };
 pub use queueing::{
     placement, Assignment, DcSim, ProcCosts, Procedure, ReassignPolicy, Request, VmServer,

@@ -1,0 +1,55 @@
+//! Open-loop (offered-load) arrival control for the wire-level
+//! deployment: each cell draws a seeded Poisson schedule of session
+//! arrival times up front, then fires [`scale_epc::EnbEmulator::arrival`]
+//! as the wall clock passes each point. Unlike the closed-loop window
+//! (which self-clocks to the system's service rate), open-loop load
+//! does not slow down when the system does — arrivals beyond the
+//! bounded in-flight cap are shed and counted, which is what makes an
+//! offered-load sweep meaningful past saturation.
+
+use crate::workload::exp_gap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Absolute arrival times (from drive start) of `n` session arrivals
+/// at `rate` per second. Deterministic per `seed`; gaps are exponential
+/// so counts over any interval are Poisson.
+pub fn poisson_schedule(seed: u64, rate: f64, n: usize) -> Vec<Duration> {
+    assert!(rate > 0.0, "open-loop rate must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        t += exp_gap(&mut rng, rate);
+        out.push(Duration::from_secs_f64(t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let a = poisson_schedule(7, 500.0, 1000);
+        let b = poisson_schedule(7, 500.0, 1000);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(a, poisson_schedule(8, 500.0, 1000));
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_rate() {
+        let rate = 200.0;
+        let s = poisson_schedule(42, rate, 20_000);
+        let total = s.last().unwrap().as_secs_f64();
+        let mean_gap = total / s.len() as f64;
+        let expect = 1.0 / rate;
+        assert!(
+            (mean_gap - expect).abs() < expect * 0.05,
+            "mean gap {mean_gap} vs expected {expect}"
+        );
+    }
+}

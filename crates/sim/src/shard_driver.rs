@@ -40,7 +40,7 @@ use scale_core::{
     RoutePlane, RouteReader, RouteSnapshot, Shard, ShardConfig, ShardMsg, ShardStats,
     ShardStatsSnapshot, VmId,
 };
-use scale_epc::{EnbEvent, EnodeB, Ue, UeEvent};
+use scale_epc::{op_is_tau, EnbEvent, EnodeB, Ue, UeEvent, ENB_BASE, MTMSI_BASE};
 use scale_mme::Incoming;
 use scale_nas::{Plmn, Tai};
 use scale_obs::Histogram;
@@ -52,10 +52,6 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// First M-TMSI handed out; UE `u` gets `MTMSI_BASE + u`.
-const MTMSI_BASE: u32 = 0x0200_0000;
-/// eNodeB id of cell `c` is `ENB_BASE + c`.
-const ENB_BASE: u32 = 0x0100_0000;
 /// Mailbox capacity. In-flight work is bounded by `window` UEs per
 /// cell, each contributing a handful of queued messages, so queues
 /// stay far from full — which is what keeps blocking sends between
@@ -259,20 +255,6 @@ struct AccessCell {
     next_unstarted: usize,
     errors: u64,
     error_samples: Vec<String>,
-}
-
-/// SplitMix64 — the op-mix PRF: `mix(seed, u, k)` decides whether op
-/// `k` of UE `u` is an SR or a TAU, identically on every run.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-fn op_is_tau(seed: u64, u: u64, k: u64) -> bool {
-    // 1-in-3 TAU, 2-in-3 SR — TAUs are the rarer periodic procedure.
-    mix64(seed ^ mix64(u ^ mix64(k))) % 3 == 2
 }
 
 impl AccessCell {
@@ -702,7 +684,7 @@ pub fn run_scale_out_observed(
             .map(|local| {
                 let u = local * cfg.n_shards + s;
                 UeSlot {
-                    ue: Ue::new(&format!("00101{u:010}"), plmn, base_tai),
+                    ue: Ue::new(&scale_epc::imsi_of(u), plmn, base_tai),
                     drive: Drive::Unstarted,
                     serving_vm: 0,
                     enb_ue_id: 0,

@@ -1,0 +1,151 @@
+//! The two-process-shaped tokio testbed: a real MME endpoint (with
+//! embedded HSS + S-GW) and a real eNodeB client exchanging
+//! wire-encoded S1AP/NAS over the sctplite transport on localhost TCP,
+//! with netem-style link delay — the shape of the paper's OpenEPC
+//! prototype (§5), kept runnable as both a demo binary
+//! (`cargo run --example prototype_testbed`) and a maintained
+//! integration test (`tests/prototype_testbed.rs`).
+
+use scale_epc::{EnbEvent, EnodeB, Hss, Sgw, Ue, UeEvent, UeState};
+use scale_mme::{Incoming, MmeConfig, MmeCore, Outgoing};
+use scale_nas::{Plmn, Tai};
+use scale_s1ap::S1apPdu;
+use scale_sctplite::{ppid, SctpListener, SctpStream};
+use std::time::{Duration, Instant};
+
+/// What one full testbed run produced, per device and in aggregate.
+#[derive(Debug, Clone)]
+pub struct TestbedReport {
+    /// MME name from the S1 Setup handshake.
+    pub mme_name: String,
+    /// Per-device wall-clock attach time (full AKA + session setup
+    /// over the socket), in attach order.
+    pub attach_ms: Vec<f64>,
+    /// Allocated M-TMSIs, in attach order (all distinct).
+    pub m_tmsis: Vec<u32>,
+}
+
+/// Serve one eNodeB link with a single-engine MME + HSS + S-GW until
+/// the peer hangs up. This is the whole control-plane backend of the
+/// original prototype: no MLB, no sharding — the baseline the SCALE
+/// deployment is measured against.
+async fn mme_server(mut listener: SctpListener) {
+    let mut stream = match listener.accept().await {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut mme = MmeCore::new(MmeConfig::default());
+    let mut hss = Hss::new(1);
+    hss.provision_range("00101", 64);
+    let mut sgw = Sgw::new([10, 0, 0, 2]);
+    let enb_id = 0x0100_0000;
+
+    while let Ok((_sid, _ppid, payload)) = stream.recv().await {
+        let pdu = match S1apPdu::decode(payload) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("mme: bad S1AP: {e}");
+                continue;
+            }
+        };
+        let mut pending = vec![Incoming::S1ap { enb_id, pdu }];
+        while let Some(ev) = pending.pop() {
+            match mme.handle(ev) {
+                Ok(outs) => {
+                    for out in outs {
+                        match out {
+                            Outgoing::S1ap { pdu, .. } => {
+                                let _ = stream.send(1, ppid::S1AP, pdu.encode()).await;
+                            }
+                            Outgoing::S6a(m) => pending.push(Incoming::S6a(hss.handle(&m))),
+                            Outgoing::S11(m) => {
+                                if let Some(r) = sgw.handle(m) {
+                                    pending.push(Incoming::S11(r));
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Err(e) => eprintln!("mme: {e}"),
+            }
+        }
+    }
+}
+
+/// Attach `n_ues` devices end to end over a real localhost socket with
+/// `link_delay` of emulated one-way propagation. Panics if any attach
+/// fails to converge — this runs under both the demo example and the
+/// integration test, and a wedged handshake should be loud in both.
+// lint: allow(unwrap)
+pub fn run_testbed(n_ues: u32, link_delay: Duration) -> TestbedReport {
+    tokio::runtime::block_on(async move {
+        let listener = SctpListener::bind("127.0.0.1:0").await.expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        tokio::spawn(mme_server(listener));
+
+        let mut link = SctpStream::connect(&addr, 0xeb).await.expect("connect");
+        link.link_delay = link_delay;
+
+        let plmn = Plmn::test();
+        let tai = Tai::new(plmn, 1);
+        let mut enb = EnodeB::new(0x0100_0000, "enb-testbed", vec![tai]);
+
+        // S1 Setup handshake.
+        link.send(0, ppid::S1AP, enb.s1_setup_request().encode())
+            .await
+            .expect("send s1 setup");
+        let (_, _, resp) = link.recv().await.expect("s1 setup response");
+        let mme_name = match S1apPdu::decode(resp).expect("decode s1 setup response") {
+            S1apPdu::S1SetupResponse { mme_name, .. } => mme_name,
+            other => panic!("expected S1SetupResponse, got {other:?}"),
+        };
+
+        let mut report = TestbedReport {
+            mme_name,
+            attach_ms: Vec::with_capacity(n_ues as usize),
+            m_tmsis: Vec::with_capacity(n_ues as usize),
+        };
+
+        for i in 0..n_ues {
+            let imsi = format!("00101{i:09}");
+            let mut ue = Ue::new(&imsi, plmn, tai);
+            let t0 = Instant::now();
+            let initial = enb.connect(i as usize, ue.attach_request(), None, 3);
+            link.send(1, ppid::S1AP, initial.encode()).await.expect("send attach");
+
+            let mut hops = 0;
+            while ue.state != UeState::Active {
+                hops += 1;
+                assert!(hops <= 50, "attach for {imsi} did not converge");
+                let (_, _, payload) = link.recv().await.expect("recv downlink");
+                let pdu = S1apPdu::decode(payload).expect("decode downlink");
+                for ev in enb.handle_from_mme(pdu) {
+                    match ev {
+                        EnbEvent::ToMme(p) => {
+                            link.send(1, ppid::S1AP, p.encode()).await.expect("uplink");
+                        }
+                        EnbEvent::NasToUe { nas, .. } => {
+                            for ue_ev in ue.handle_nas(nas).expect("nas") {
+                                if let UeEvent::SendNas(up) = ue_ev {
+                                    let id = enb.enb_ue_id_of(i as usize).expect("enb ue id");
+                                    if let Some(p) = enb.uplink(id, up) {
+                                        link.send(1, ppid::S1AP, p.encode())
+                                            .await
+                                            .expect("nas uplink");
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            report.attach_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            report
+                .m_tmsis
+                .push(ue.guti.expect("attached UE has a GUTI").m_tmsi);
+        }
+        report
+    })
+}

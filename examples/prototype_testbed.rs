@@ -3,120 +3,30 @@
 //! localhost TCP, with netem-style link delay — the shape of the
 //! paper's OpenEPC prototype (§5).
 //!
-//! Run: `cargo run --example prototype_testbed`
+//! The run logic lives in `scale_sim::testbed` so the integration test
+//! (`tests/prototype_testbed.rs`) drives the identical code path; this
+//! binary is the human-facing demo of it.
+//!
+//! Run: `cargo run --example prototype_testbed` (32 devices), or with
+//! `-- --smoke` for the 8-device quick tier CI uses.
 
-use scale_epc::{EnbEvent, EnodeB, Hss, Sgw, Ue, UeEvent, UeState};
-use scale_mme::{Incoming, MmeConfig, MmeCore, Outgoing};
-use scale_nas::{Plmn, Tai};
-use scale_s1ap::S1apPdu;
-use scale_sctplite::{ppid, SctpListener, SctpStream};
-use std::time::{Duration, Instant};
+use scale_sim::run_testbed;
+use std::time::Duration;
 
-async fn mme_server(mut listener: SctpListener) {
-    let mut stream = listener.accept().await.expect("accept");
-    let mut mme = MmeCore::new(MmeConfig::default());
-    let mut hss = Hss::new(1);
-    hss.provision_range("00101", 32);
-    let mut sgw = Sgw::new([10, 0, 0, 2]);
-    let enb_id = 0x0100_0000;
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_ues = if smoke { 8 } else { 32 };
 
-    while let Ok((_sid, _ppid, payload)) = stream.recv().await {
-        let pdu = match S1apPdu::decode(payload) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("mme: bad S1AP: {e}");
-                continue;
-            }
-        };
-        let mut pending = vec![Incoming::S1ap { enb_id, pdu }];
-        while let Some(ev) = pending.pop() {
-            match mme.handle(ev) {
-                Ok(outs) => {
-                    for out in outs {
-                        match out {
-                            Outgoing::S1ap { pdu, .. } => {
-                                let _ = stream.send(1, ppid::S1AP, pdu.encode()).await;
-                            }
-                            Outgoing::S6a(m) => pending.push(Incoming::S6a(hss.handle(&m))),
-                            Outgoing::S11(m) => {
-                                if let Some(r) = sgw.handle(m) {
-                                    pending.push(Incoming::S11(r));
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                Err(e) => eprintln!("mme: {e}"),
-            }
-        }
-    }
-}
-
-#[tokio::main]
-async fn main() {
-    let listener = SctpListener::bind("127.0.0.1:0").await.unwrap();
-    let addr = listener.local_addr().unwrap().to_string();
-    println!("MME (with embedded HSS + S-GW) listening on {addr}");
-    tokio::spawn(mme_server(listener));
-
-    let mut link = SctpStream::connect(&addr, 0xeb).await.unwrap();
     // Emulate 2 ms of one-way propagation, as netem did in the paper.
-    link.link_delay = Duration::from_millis(2);
-
-    let plmn = Plmn::test();
-    let tai = Tai::new(plmn, 1);
-    let mut enb = EnodeB::new(0x0100_0000, "enb-testbed", vec![tai]);
-
-    // S1 Setup handshake.
-    link.send(0, ppid::S1AP, enb.s1_setup_request().encode())
-        .await
-        .unwrap();
-    let (_, _, resp) = link.recv().await.unwrap();
-    if let S1apPdu::S1SetupResponse { mme_name, .. } = S1apPdu::decode(resp).unwrap() {
-        println!("S1 Setup complete with '{mme_name}'");
-    }
-
-    // Attach 8 devices end to end over the socket, timing each.
-    for i in 0..8u32 {
-        let imsi = format!("00101{i:09}");
-        let mut ue = Ue::new(&imsi, plmn, tai);
-        let t0 = Instant::now();
-        let initial = enb.connect(i as usize, ue.attach_request(), None, 3);
-        link.send(1, ppid::S1AP, initial.encode()).await.unwrap();
-
-        let mut hops = 0;
-        while ue.state != UeState::Active {
-            hops += 1;
-            if hops > 50 {
-                panic!("attach for {imsi} did not converge");
-            }
-            let (_, _, payload) = link.recv().await.unwrap();
-            let pdu = S1apPdu::decode(payload).unwrap();
-            for ev in enb.handle_from_mme(pdu) {
-                match ev {
-                    EnbEvent::ToMme(p) => {
-                        link.send(1, ppid::S1AP, p.encode()).await.unwrap();
-                    }
-                    EnbEvent::NasToUe { nas, .. } => {
-                        for ue_ev in ue.handle_nas(nas).expect("nas") {
-                            if let UeEvent::SendNas(up) = ue_ev {
-                                let id = enb.enb_ue_id_of(i as usize).unwrap();
-                                if let Some(p) = enb.uplink(id, up) {
-                                    link.send(1, ppid::S1AP, p.encode()).await.unwrap();
-                                }
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
+    let report = run_testbed(n_ues, Duration::from_millis(2));
+    println!(
+        "S1 Setup complete with '{}'; attaching {n_ues} devices...",
+        report.mme_name
+    );
+    for (i, (ms, m_tmsi)) in report.attach_ms.iter().zip(&report.m_tmsis).enumerate() {
         println!(
-            "  {imsi}: attached in {:>5.1} ms (full AKA + session setup over TCP), GUTI m-tmsi {}",
-            t0.elapsed().as_secs_f64() * 1e3,
-            ue.guti.unwrap().m_tmsi
+            "  00101{i:09}: attached in {ms:>5.1} ms (full AKA + session setup over TCP), GUTI m-tmsi {m_tmsi}"
         );
     }
-    println!("testbed run complete: 8 devices attached over real sockets.");
+    println!("testbed run complete: {n_ues} devices attached over real sockets.");
 }

@@ -1,0 +1,93 @@
+//! `scale_wired` — the multi-process wire deployment (DESIGN.md §14).
+//!
+//! One binary, three roles:
+//!
+//! ```text
+//! scale_wired --role mlb                 <cfg k=v ...>   # front process
+//! scale_wired --role mmp --index 0 --addr H:P <cfg ...>  # worker process
+//! scale_wired --role enb --cell  0 --addr H:P <cfg ...>  # cell process
+//! ```
+//!
+//! Run with no arguments for a self-contained demo: the process spawns
+//! a small topology of itself as child processes, drives a seeded
+//! workload through real sockets and prints the aggregated outcome.
+
+use scale_sim::wire_run::{run_enb, run_mlb, run_mmp, spawn_topology, WireRunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        demo();
+        return;
+    }
+    let mut role = None;
+    let mut index = None;
+    let mut addr = None;
+    let mut cfg_tokens = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--role" => role = it.next(),
+            "--index" | "--cell" => index = it.next().map(|v| v.parse::<usize>().expect("index")),
+            "--addr" => addr = it.next(),
+            _ => cfg_tokens.push(a),
+        }
+    }
+    let cfg = WireRunConfig::from_args(&cfg_tokens);
+    let code = match role.as_deref() {
+        Some("mlb") => run_mlb(&cfg),
+        Some("mmp") => run_mmp(
+            &cfg,
+            index.expect("--index required for mmp"),
+            addr.as_deref().expect("--addr required for mmp"),
+        ),
+        Some("enb") => run_enb(
+            &cfg,
+            index.expect("--cell required for enb"),
+            addr.as_deref().expect("--addr required for enb"),
+        ),
+        other => {
+            eprintln!("unknown --role {other:?} (expected mlb|mmp|enb)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn demo() {
+    let bin = std::env::current_exe().expect("current_exe");
+    let cfg = WireRunConfig::smoke();
+    println!(
+        "spawning wire topology: {} eNB + 1 MLB + {} MMP processes, {} UEs x {} ops",
+        cfg.n_enbs, cfg.n_mmps, cfg.n_ues, cfg.ops_per_ue
+    );
+    let dep = spawn_topology(bin.to_str().expect("utf-8 path"), &cfg).expect("spawn");
+    println!("MLB listening on {}", dep.addr());
+    let outcome = dep.finish();
+    let c = &outcome.counts;
+    println!(
+        "done in {} ms (clean_exit={}): {} sessions, {} attaches, {} SR, {} TAU, \
+         {} idle edges, {} replicas imported, rejects={}, errors={}",
+        outcome.wall_ms,
+        outcome.clean_exit,
+        c.enb.sessions_done,
+        c.enb.attaches,
+        c.enb.service_requests,
+        c.enb.taus,
+        c.mmp.stats.idles,
+        c.mmp.stats.replicas_imported,
+        c.enb.rejects,
+        c.enb.errors + c.mmp.stats.errors + c.mmp.wire_errors + c.mlb.errors,
+    );
+    for l in &outcome.latency {
+        if l.count > 0 {
+            println!(
+                "  cell {} {:<16} n={:<6} p50={} us  p99={} us",
+                l.cell, l.proc, l.count, l.p50_us, l.p99_us
+            );
+        }
+    }
+    if !outcome.clean_exit {
+        std::process::exit(1);
+    }
+}

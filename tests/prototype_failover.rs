@@ -4,6 +4,12 @@
 //! the same exponential-backoff policy the simulator uses, and re-drives
 //! an attach against the restarted MMP — the prototype analogue of the
 //! chaos sweep's kill/recover cycle.
+//!
+//! `mmp_process_kill_recovers_with_zero_lost_sessions` scales the same
+//! loop up to the full multi-process deployment: SIGKILL a live MMP
+//! *process* mid-run and require the failover loop (link loss /
+//! heartbeat miss → mark-down → replica failover → re-attach recovery →
+//! reconnect) to finish every session at R = 2.
 
 use scale_core::failover::{BackoffPolicy, HealthConfig, HealthTracker};
 use scale_epc::{EnbEvent, EnodeB, Hss, Sgw, Ue, UeState};
@@ -239,4 +245,76 @@ async fn crash_detect_reconnect_with_backoff_and_reattach() {
         server_b.take().unwrap().await.unwrap(),
         "server B must classify the teardown as clean"
     );
+}
+
+/// Chaos over real sockets (ISSUE 9 satellite): kill a live MMP worker
+/// process mid-run with SIGKILL, restart it, and require the run to
+/// complete with zero lost sessions.
+///
+/// What must happen underneath, in order:
+/// 1. the MLB's reader sees the abrupt link loss (or its heartbeat
+///    probes go unanswered) and marks every VM of the dead worker down;
+/// 2. in-flight procedures on those VMs are failed back to their eNBs,
+///    which recover by re-attaching from scratch (`recoveries` ticks);
+/// 3. Idle-mode devices whose serving holder died are routed to the
+///    surviving replica holder (R = 2) without the access side even
+///    noticing;
+/// 4. the restarted process re-dials the MLB (`reconnects` ticks) and
+///    its VMs are marked routable again — the revived engines are
+///    *empty*, so a device whose entire holder set lived on the dead
+///    process (replicas are not process-disjoint) gets Service/TAU
+///    Reject #9 from the blank engine and recovers by a fresh IMSI
+///    attach (`rejects` ticks alongside `recoveries`, §4.6).
+#[test]
+fn mmp_process_kill_recovers_with_zero_lost_sessions() {
+    use scale_sim::{spawn_topology, WireMode, WireRunConfig};
+
+    let cfg = WireRunConfig {
+        n_enbs: 2,
+        n_mmps: 2,
+        total_vms: 8,
+        replication: 2,
+        ring_tokens: 64,
+        seed: 4242,
+        n_ues: 1500,
+        ops_per_ue: 2,
+        mode: WireMode::Closed { window: 24 },
+    };
+    let bin = env!("CARGO_BIN_EXE_scale_wired");
+    let mut dep = spawn_topology(bin, &cfg).expect("spawn wire topology");
+
+    // Let the deployment get well into the workload, then pull the rug.
+    std::thread::sleep(Duration::from_millis(800));
+    dep.kill_mmp(1).expect("SIGKILL worker 1");
+    std::thread::sleep(Duration::from_millis(500));
+    dep.respawn_mmp(1).expect("restart worker 1");
+
+    let outcome = dep.finish();
+    assert!(outcome.clean_exit, "deployment did not drain cleanly");
+    let c = outcome.counts;
+
+    // Zero lost requests: every session runs to completion — the ones
+    // caught mid-procedure on the dead worker via re-attach recovery,
+    // the Idle ones via the surviving replica holder.
+    assert_eq!(c.enb.sessions_done, cfg.n_ues as u64, "lost sessions");
+    assert_eq!(c.enb.sessions_shed, 0);
+    assert_eq!(c.enb.errors, 0, "access-side errors");
+    // Identity-unknown rejects are the *designed* recovery signal for
+    // devices whose whole holder set died (§4.6) — allowed, but every
+    // one of them must have turned into a successful re-attach.
+    assert!(
+        c.enb.rejects <= c.enb.recoveries,
+        "a reject that did not recover: {} rejects, {} recoveries",
+        c.enb.rejects,
+        c.enb.recoveries
+    );
+    assert!(
+        c.enb.recoveries > 0,
+        "the kill landed mid-run, so some procedures must have recovered"
+    );
+    assert!(c.reconnects >= 1, "restarted worker must have re-dialed");
+    // The engine side completed at least what the access side observed
+    // (the killed process took its pre-kill counters with it, so the
+    // engine totals may legitimately undercount).
+    assert!(c.mmp.stats.attaches >= c.enb.attaches.saturating_sub(c.enb.recoveries));
 }

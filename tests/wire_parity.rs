@@ -1,0 +1,111 @@
+//! Wire-vs-in-process parity: the identical seeded attach / Service-
+//! Request / TAU mix driven three ways — through the multi-process
+//! socket deployment (`scale_wired` child processes over sctplite/TCP),
+//! through the in-process shuttle (same sans-IO role logic, message
+//! queue instead of sockets), and through the in-process `scale_out`
+//! cluster driver — must produce identical per-outcome counts.
+//!
+//! This is the shard-invariance pattern from `scale_out` lifted across
+//! the process boundary: moving *where* the protocol logic runs (same
+//! thread, other thread, other process) must never change *what* it
+//! computes. Wall-clock is the only thing allowed to differ — that gap
+//! is what the `wire_load` bench measures.
+
+use scale_sim::{run_scale_out, run_shuttle, spawn_topology, WireMode, WireRunConfig};
+
+/// Small enough for a debug-mode CI run, large enough that every
+/// procedure class, both MMP processes and the replication path fire.
+fn parity_cfg() -> WireRunConfig {
+    WireRunConfig {
+        n_enbs: 2,
+        n_mmps: 2,
+        total_vms: 8,
+        replication: 2,
+        ring_tokens: 64,
+        seed: 42,
+        n_ues: 300,
+        ops_per_ue: 2,
+        mode: WireMode::Closed { window: 24 },
+    }
+}
+
+#[test]
+fn socket_deployment_matches_shuttle_and_scale_out() {
+    let cfg = parity_cfg();
+    let bin = env!("CARGO_BIN_EXE_scale_wired");
+
+    let dep = spawn_topology(bin, &cfg).expect("spawn wire topology");
+    let outcome = dep.finish();
+    assert!(outcome.clean_exit, "wire deployment exited uncleanly");
+    let wire = outcome.counts;
+
+    // Clean run: every session completes, nothing shed/rejected/errored.
+    assert_eq!(wire.enb.sessions_done, cfg.n_ues as u64);
+    assert_eq!(wire.enb.sessions_shed, 0);
+    assert_eq!(wire.enb.rejects, 0);
+    assert_eq!(wire.enb.errors, 0);
+    assert_eq!(wire.mmp.stats.errors, 0);
+    assert_eq!(wire.mmp.wire_errors, 0);
+    assert_eq!(wire.mlb.errors, 0);
+    assert_eq!(wire.mlb.dropped, 0);
+    assert_eq!(wire.reconnects, 0);
+
+    // Sockets vs shuttle: byte-for-byte identical counts, down to the
+    // MLB router statistics and the local/remote replica split.
+    let shuttle = run_shuttle(&cfg);
+    assert_eq!(wire, shuttle, "socket deployment diverged from shuttle");
+
+    // Sockets vs the in-process cluster driver: identical per-outcome
+    // engine counts on the same seeded workload.
+    let twin = run_scale_out(&cfg.scale_out_twin());
+    assert_eq!(wire.mmp.stats.attaches, twin.counts.attaches);
+    assert_eq!(wire.mmp.stats.service_requests, twin.counts.service_requests);
+    assert_eq!(wire.mmp.stats.taus, twin.counts.taus);
+    assert_eq!(wire.mmp.stats.idles, twin.counts.idles);
+    assert_eq!(wire.mmp.stats.messages, twin.counts.messages);
+    assert_eq!(
+        wire.mmp.stats.replicas_imported,
+        twin.counts.replicas_imported
+    );
+    assert_eq!(wire.mmp.contexts_held, twin.counts.contexts_held);
+    assert_eq!(wire.mmp.stats.rejects, twin.counts.rejects);
+    assert_eq!(wire.mmp.stats.errors, twin.counts.errors);
+}
+
+#[test]
+fn socket_deployment_is_deterministic_run_to_run() {
+    let cfg = WireRunConfig {
+        n_ues: 150,
+        ..parity_cfg()
+    };
+    let bin = env!("CARGO_BIN_EXE_scale_wired");
+    let a = spawn_topology(bin, &cfg).expect("spawn A").finish();
+    let b = spawn_topology(bin, &cfg).expect("spawn B").finish();
+    assert!(a.clean_exit && b.clean_exit);
+    assert_eq!(a.counts, b.counts, "same seed, same counts over sockets");
+}
+
+#[test]
+fn open_loop_socket_run_settles_every_admitted_session() {
+    // Open-loop drive at a rate the deployment can absorb: nothing is
+    // shed, every arrival completes, and the per-outcome engine counts
+    // still reconcile with the access side.
+    let cfg = WireRunConfig {
+        n_ues: 200,
+        mode: WireMode::Open {
+            rate_hz: 400.0,
+            max_in_flight: 48,
+        },
+        ..parity_cfg()
+    };
+    let bin = env!("CARGO_BIN_EXE_scale_wired");
+    let outcome = spawn_topology(bin, &cfg).expect("spawn").finish();
+    assert!(outcome.clean_exit);
+    let c = outcome.counts;
+    assert_eq!(c.enb.sessions_done + c.enb.sessions_shed, cfg.n_ues as u64);
+    assert_eq!(c.enb.sessions_shed, 0, "rate is far below capacity");
+    assert_eq!(c.enb.attaches, c.mmp.stats.attaches);
+    assert_eq!(c.enb.service_requests, c.mmp.stats.service_requests);
+    assert_eq!(c.enb.taus, c.mmp.stats.taus);
+    assert_eq!(c.enb.errors + c.mmp.stats.errors + c.mmp.wire_errors, 0);
+}
