@@ -28,6 +28,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod protocol;
+
 /// Shared state: a small bank of `u64` cells standing in for the
 /// `AtomicU64`s (and mutex words) of the system under test.
 #[derive(Debug, Clone, PartialEq, Eq)]

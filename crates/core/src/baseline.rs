@@ -162,9 +162,28 @@ impl LegacyPool {
                                 s_tmsi.ok_or(MmeError::UnknownUe("SR without S-TMSI"))?;
                             Ok(code)
                         }
-                        other => Err(MmeError::BadState(format!(
-                            "unroutable initial NAS {other:?}"
-                        ))),
+                        // Downlink-only NAS can never legitimately be
+                        // an *initial* uplink message; name the
+                        // variants so a new message type must be
+                        // routed here deliberately.
+                        other @ (EmmMessage::AttachAccept { .. }
+                        | EmmMessage::AttachComplete
+                        | EmmMessage::AttachReject { .. }
+                        | EmmMessage::ServiceReject { .. }
+                        | EmmMessage::AuthenticationRequest { .. }
+                        | EmmMessage::AuthenticationResponse { .. }
+                        | EmmMessage::AuthenticationReject
+                        | EmmMessage::AuthenticationFailure { .. }
+                        | EmmMessage::SecurityModeCommand { .. }
+                        | EmmMessage::SecurityModeComplete
+                        | EmmMessage::SecurityModeReject { .. }
+                        | EmmMessage::TauAccept { .. }
+                        | EmmMessage::TauComplete
+                        | EmmMessage::TauReject { .. }
+                        | EmmMessage::DetachAccept
+                        | EmmMessage::EmmStatus { .. }) => Err(MmeError::BadState(
+                            format!("unroutable initial NAS {other:?}"),
+                        )),
                     }
                 }
                 other => other

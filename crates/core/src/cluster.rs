@@ -593,9 +593,28 @@ impl ScaleDc {
                                 None,
                             ))
                         }
-                        other => Err(MmeError::BadState(format!(
-                            "unroutable initial NAS {other:?}"
-                        ))),
+                        // Downlink-only NAS can never legitimately be
+                        // an *initial* uplink message; name the
+                        // variants so a new message type must be
+                        // routed here deliberately.
+                        other @ (EmmMessage::AttachAccept { .. }
+                        | EmmMessage::AttachComplete
+                        | EmmMessage::AttachReject { .. }
+                        | EmmMessage::ServiceReject { .. }
+                        | EmmMessage::AuthenticationRequest { .. }
+                        | EmmMessage::AuthenticationResponse { .. }
+                        | EmmMessage::AuthenticationReject
+                        | EmmMessage::AuthenticationFailure { .. }
+                        | EmmMessage::SecurityModeCommand { .. }
+                        | EmmMessage::SecurityModeComplete
+                        | EmmMessage::SecurityModeReject { .. }
+                        | EmmMessage::TauAccept { .. }
+                        | EmmMessage::TauComplete
+                        | EmmMessage::TauReject { .. }
+                        | EmmMessage::DetachAccept
+                        | EmmMessage::EmmStatus { .. }) => Err(MmeError::BadState(
+                            format!("unroutable initial NAS {other:?}"),
+                        )),
                     }
                 }
                 // Active-mode PDUs carry the serving MMP in the id.

@@ -54,7 +54,10 @@ impl ProcClass {
                             id: MobileId::Guti(_),
                             ..
                         }) => ProcClass::Other,
-                        _ => ProcClass::Other,
+                        // Any other (or undecodable) initial NAS also
+                        // lands in Other — but spell the Ok/Err split
+                        // out so this stays a conscious decision.
+                        Ok(_) | Err(_) => ProcClass::Other,
                     }
                 }
                 S1apPdu::UeContextReleaseRequest { .. }

@@ -281,18 +281,30 @@ impl RouteReader {
 
     /// Route a fresh attach: the first *live* holder (a down master's
     /// successor stands in until the ring is repaired).
+    ///
+    /// Every routing decision reads exactly one snapshot: the position
+    /// is epoch-independent (a pure function of the key bytes), and
+    /// `holders_at` + `is_down` are evaluated against the same load.
+    /// Filtering one epoch's holder set with another epoch's liveness
+    /// bitmap — the shape this method had before the model checker
+    /// audit — can route to a VM that the newer epoch already retired
+    /// (`remove_vm` clears the down bit before ring surgery).
     pub fn route_new_attach(&mut self, m_tmsi: u32) -> Option<VmId> {
-        let (holders, n) = self.holders(m_tmsi);
+        let pos = self.position(m_tmsi);
         let snap = self.cache.load(&self.plane.snap);
+        let (holders, n) = snap.holders_at(pos);
         holders[..n].iter().copied().find(|&vm| !snap.is_down(vm))
     }
 
     /// Route an Idle→Active transition: least-loaded live holder (the
     /// fine-grained balancing of §4.6); ties keep the later holder,
-    /// matching `MlbRouter::route_idle_transition`.
+    /// matching `MlbRouter::route_idle_transition`. Holder set and
+    /// liveness come from one snapshot load (see
+    /// [`Self::route_new_attach`] for why that is load-bearing).
     pub fn route_idle(&mut self, m_tmsi: u32) -> Option<VmId> {
-        let (holders, n) = self.holders(m_tmsi);
+        let pos = self.position(m_tmsi);
         let snap = self.cache.load(&self.plane.snap);
+        let (holders, n) = snap.holders_at(pos);
         let mut best: Option<(u64, VmId)> = None;
         for &vm in &holders[..n] {
             if snap.is_down(vm) {
@@ -425,6 +437,28 @@ mod tests {
                 p.add_vm(8);
             }
         });
+    }
+
+    #[test]
+    fn routing_never_names_a_retired_vm() {
+        // `remove_vm` clears the down bit *and* performs the ring
+        // surgery inside one published epoch; a routing decision that
+        // mixes two snapshot loads could observe the retired VM in the
+        // old holder set while reading the new (cleared) liveness bit.
+        // Decisions are single-snapshot now, so the retired VM can
+        // never be named no matter where a publish lands.
+        let p = plane(&[1, 2, 3]);
+        let mut r = p.reader();
+        p.mark_down(2);
+        p.remove_vm(2);
+        for m in 0..200u32 {
+            if let Some(vm) = r.route_new_attach(m) {
+                assert_ne!(vm, 2, "attach routed to retired VM");
+            }
+            if let Some(vm) = r.route_idle(m) {
+                assert_ne!(vm, 2, "idle transition routed to retired VM");
+            }
+        }
     }
 
     #[test]

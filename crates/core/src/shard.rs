@@ -298,6 +298,36 @@ impl Shard {
         self.engines.values().map(|e| e.contexts().count()).sum()
     }
 
+    /// Every engine context paired with its owning VM, in VM order —
+    /// the read-only view the protocol model checker's invariants
+    /// (GUTI uniqueness, replica contract) audit after each step.
+    pub fn contexts(&self) -> impl Iterator<Item = (VmId, &scale_mme::UeContext)> + '_ {
+        self.engines
+            .iter()
+            .flat_map(|(&vm, e)| e.contexts().map(move |c| (vm, c)))
+    }
+
+    /// VMs on this shard currently holding a context for `guti`.
+    pub fn holding_vms(&self, guti: &Guti) -> Vec<VmId> {
+        self.engines
+            .iter()
+            .filter(|(_, e)| e.context(guti).is_some())
+            .map(|(&vm, _)| vm)
+            .collect()
+    }
+
+    /// Hash the shard's behavior-relevant state — every engine's
+    /// contexts and allocator positions — into `h`. Monotone counters
+    /// are excluded so the model checker's visited set dedups states
+    /// with identical future behavior.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        for (&vm, engine) in &self.engines {
+            vm.hash(h);
+            engine.fingerprint(h);
+        }
+    }
+
     /// Summed engine stats (exact once the shard quiesces).
     pub fn engine_stats(&self) -> MmeStats {
         let mut total = MmeStats::default();

@@ -571,7 +571,15 @@ impl MlbState {
                     msg,
                 });
             }
-            _ => {
+            // Not things an MMP link ever carries toward the MLB; each
+            // is named so a new `WireMsg` variant fails to compile here
+            // instead of being silently counted away.
+            WireMsg::Hello { .. }
+            | WireMsg::Uplink { .. }
+            | WireMsg::Deliver { .. }
+            | WireMsg::ProcFailed { .. }
+            | WireMsg::VmDown { .. }
+            | WireMsg::VmUp { .. } => {
                 self.stats.errors += 1;
             }
         }
@@ -588,12 +596,17 @@ impl MlbState {
         }
         self.conns
             .retain(|_, vm| shard_of(*vm, self.topo.n_mmps) != mmp);
-        let failed: Vec<u32> = self
+        let mut failed: Vec<u32> = self
             .inflight
             .iter()
             .filter(|(_, vm)| shard_of(**vm, self.topo.n_mmps) == mmp)
             .map(|(m, _)| *m)
             .collect();
+        // Sorted so the fail-over notification order is a function of
+        // the state, not of HashMap iteration order — run-to-run
+        // determinism is what lets the model checker assert identical
+        // state counts across runs.
+        failed.sort_unstable();
         for m_tmsi in failed {
             self.inflight.remove(&m_tmsi);
             self.stats.proc_failures += 1;
@@ -642,6 +655,43 @@ impl MlbState {
                     });
                 }
             }
+        }
+    }
+
+    /// The MLB's shared routing plane (model-checker / diagnostics
+    /// access).
+    #[must_use]
+    pub fn plane(&self) -> &Arc<RoutePlane> {
+        &self.plane
+    }
+
+    /// The serving VM pinned for device `m_tmsi`'s in-flight
+    /// procedure, if one is pinned.
+    #[must_use]
+    pub fn inflight_vm(&self, m_tmsi: u32) -> Option<VmId> {
+        self.inflight.get(&m_tmsi).copied()
+    }
+
+    /// Hash the behavior-relevant routing state — connection pins, the
+    /// in-flight table, snapshot membership/liveness and per-VM loads —
+    /// into `h`. Monotone report counters and the (equally monotone)
+    /// snapshot epoch are excluded: two states differing only in those
+    /// have identical future behavior, and folding them in would defeat
+    /// the model checker's visited-set dedup.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut conns: Vec<(u32, u32, VmId)> =
+            self.conns.iter().map(|(&(e, u), &vm)| (e, u, vm)).collect();
+        conns.sort_unstable();
+        conns.hash(h);
+        let mut inflight: Vec<(u32, VmId)> =
+            self.inflight.iter().map(|(&m, &vm)| (m, vm)).collect();
+        inflight.sort_unstable();
+        inflight.hash(h);
+        let snap = self.plane.snapshot();
+        snap.ring.nodes().hash(h);
+        for &vm in snap.ring.nodes() {
+            (snap.is_down(vm), self.plane.loads.load(vm)).hash(h);
         }
     }
 }
@@ -710,6 +760,41 @@ impl MmpNode {
         &self.error_samples
     }
 
+    /// This worker's routing-plane replica (model-checker /
+    /// diagnostics access).
+    #[must_use]
+    pub fn plane(&self) -> &Arc<RoutePlane> {
+        &self.plane
+    }
+
+    /// The shard of real MME engines behind this worker (read-only
+    /// model-checker access to contexts and holder sets).
+    #[must_use]
+    pub fn shard(&self) -> &Shard {
+        &self.shard
+    }
+
+    /// VMs on this worker currently holding a context for `m_tmsi`.
+    #[must_use]
+    pub fn holding_vms(&self, m_tmsi: u32) -> Vec<VmId> {
+        let guti = self.plane.snapshot().guti(m_tmsi);
+        self.shard.holding_vms(&guti)
+    }
+
+    /// Hash the worker's behavior-relevant state — engine contexts and
+    /// the local liveness view — into `h`. Error counters and the
+    /// monotone snapshot epoch are excluded (see
+    /// [`MlbState::fingerprint`]).
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.index.hash(h);
+        self.shard.fingerprint(h);
+        let snap = self.plane.snapshot();
+        for vm in 1..=self.topo.total_vms as VmId {
+            snap.is_down(vm).hash(h);
+        }
+    }
+
     fn fail(&mut self, what: impl Into<String>) {
         self.errors += 1;
         if self.error_samples.len() < 8 {
@@ -746,7 +831,11 @@ impl MmpNode {
                 self.plane.mark_up(vm);
                 return;
             }
-            other => {
+            other @ (WireMsg::Hello { .. }
+            | WireMsg::Uplink { .. }
+            | WireMsg::ToEnb { .. }
+            | WireMsg::Settled { .. }
+            | WireMsg::ProcFailed { .. }) => {
                 self.fail(format!("unexpected wire message at MMP: {other:?}"));
                 return;
             }
@@ -768,7 +857,7 @@ impl MmpNode {
                         vm,
                         m_tmsi: guti.m_tmsi,
                     }),
-                    other => {
+                    other @ (ShardMsg::ToVm { .. } | ShardMsg::RepairScan) => {
                         self.errors += 1;
                         if self.error_samples.len() < 8 {
                             self.error_samples

@@ -216,6 +216,24 @@ struct UeSlot {
     started: Instant,
 }
 
+/// Externally observable drive state of one device slot, used by the
+/// protocol model checker's ghost invariants (session safety and
+/// convergence are phrased over these views, not over emulator
+/// internals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Drive-phase discriminant: 0 Unstarted, 1 Attaching, 2 Releasing,
+    /// 3 InService, 4 InTau, 5 Done.
+    pub phase: u8,
+    /// Whether the device has completed at least one Idle edge (the
+    /// earliest point a replica of its context exists anywhere).
+    pub has_idled: bool,
+    /// Idle-mode ops completed so far.
+    pub ops_done: usize,
+    /// Whether the UE currently holds a GUTI.
+    pub has_guti: bool,
+}
+
 /// One cell's eNodeB, UE population and drive state machine. Feed it
 /// downlink PDUs and lifecycle edges; drain [`EmuEvent`]s.
 pub struct EnbEmulator {
@@ -340,6 +358,53 @@ impl EnbEmulator {
     #[must_use]
     pub fn error_samples(&self) -> &[String] {
         &self.error_samples
+    }
+
+    /// Per-slot drive snapshots for external invariant checking.
+    #[must_use]
+    pub fn slot_views(&self) -> Vec<SlotView> {
+        self.slots
+            .iter()
+            .map(|s| SlotView {
+                phase: match s.drive {
+                    Drive::Unstarted => 0,
+                    Drive::Attaching => 1,
+                    Drive::Releasing => 2,
+                    Drive::InService => 3,
+                    Drive::InTau => 4,
+                    Drive::Done => 5,
+                },
+                has_idled: s.has_idled,
+                ops_done: s.ops_done,
+                has_guti: s.ue.guti.is_some(),
+            })
+            .collect()
+    }
+
+    /// Fold all behavior-steering cell state into `h` for model-checker
+    /// state dedup. The `started: Instant` timestamps and the monotone
+    /// `counts` are excluded: wall-clock never steers a decision here,
+    /// and folding monotone counters in would defeat the visited-set
+    /// dedup (counters are derivable from the slot drive states).
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        for slot in &self.slots {
+            slot.ue.fingerprint(h);
+            let phase = match slot.drive {
+                Drive::Unstarted => 0u8,
+                Drive::Attaching => 1,
+                Drive::Releasing => 2,
+                Drive::InService => 3,
+                Drive::InTau => 4,
+                Drive::Done => 5,
+            };
+            (phase, slot.enb_ue_id, slot.ops_done, slot.has_idled).hash(h);
+        }
+        let mut conns: Vec<(u32, usize)> = self.conn_ue.iter().map(|(&k, &v)| (k, v)).collect();
+        conns.sort_unstable();
+        conns.hash(h);
+        (self.next_unstarted, self.in_flight, self.out.len()).hash(h);
+        self.enb.fingerprint(h);
     }
 
     fn global_ue(&self, local: usize) -> usize {
@@ -585,12 +650,14 @@ impl EnbEmulator {
     /// Flag eNodeB-originated uplinks whose connection we no longer
     /// track (the MLB would have no pin for them either).
     fn check_uplink_conn(&mut self, pdu: &S1apPdu) {
+        // Error Indication is exempt: it is exactly the eNodeB's "this
+        // connection is unknown" signal, sent in reply to downlinks on
+        // a connection the UE has already replaced.
         let enb_ue_id = match pdu {
             S1apPdu::InitialContextSetupResponse { enb_ue_id, .. }
             | S1apPdu::InitialContextSetupFailure { enb_ue_id, .. }
             | S1apPdu::UeContextReleaseComplete { enb_ue_id, .. }
             | S1apPdu::UplinkNasTransport { enb_ue_id, .. } => Some(*enb_ue_id),
-            S1apPdu::ErrorIndication { enb_ue_id, .. } => *enb_ue_id,
             _ => None,
         };
         if let Some(id) = enb_ue_id {

@@ -85,6 +85,27 @@ impl EnodeB {
         s_tmsi: Option<(u8, u32)>,
         establishment_cause: u8,
     ) -> S1apPdu {
+        // A UE holds at most one RRC connection: a new establishment
+        // replaces any earlier one it abandoned (re-drive after a
+        // procedure failure, cause-#9 re-attach). Without this, a late
+        // downlink on the stale connection would still resolve to the
+        // UE and corrupt its new procedure; now it draws an Error
+        // Indication instead. (Found by the protocol model checker:
+        // crash → ProcFailed re-drive races the original procedure's
+        // downlink on the surviving replica holder.)
+        let stale: Vec<u32> = self
+            .conns
+            .iter()
+            .filter(|(_, rrc)| rrc.ue == ue)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            if let Some(rrc) = self.conns.remove(&id) {
+                if let Some(mme_id) = rrc.mme_ue_id {
+                    self.by_mme_id.remove(&mme_id);
+                }
+            }
+        }
         let enb_ue_id = self.next_enb_ue_id;
         self.next_enb_ue_id += 1;
         self.conns.insert(enb_ue_id, Rrc { ue, mme_ue_id: None });
@@ -95,6 +116,22 @@ impl EnodeB {
             establishment_cause,
             s_tmsi,
         }
+    }
+
+    /// Fold all RRC bookkeeping into `h` for model-checker state dedup.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut conns: Vec<(u32, usize, Option<u32>)> = self
+            .conns
+            .iter()
+            .map(|(&id, rrc)| (id, rrc.ue, rrc.mme_ue_id))
+            .collect();
+        conns.sort_unstable();
+        conns.hash(h);
+        let mut by_mme: Vec<(u32, u32)> = self.by_mme_id.iter().map(|(&k, &v)| (k, v)).collect();
+        by_mme.sort_unstable();
+        by_mme.hash(h);
+        (self.next_enb_ue_id, self.next_s1u_teid).hash(h);
     }
 
     /// Find the live connection for a UE handle.

@@ -27,7 +27,7 @@ pub mod ue;
 
 pub use emulator::{
     home_cell, imsi_of, mix64, op_is_tau, DriveMode, EmuCounts, EmuEvent, EmulatorConfig,
-    EnbEmulator, ProcKind, ENB_BASE, MTMSI_BASE,
+    EnbEmulator, ProcKind, SlotView, ENB_BASE, MTMSI_BASE,
 };
 pub use enodeb::{EnbEvent, EnodeB};
 pub use harness::{ControlPlane, Lifecycle, Network};

@@ -187,8 +187,29 @@ impl Ue {
                 self.sec = Some(sec);
                 Ok(vec![UeEvent::SendNas(reply)])
             }
-            other => {
-                // Context activates anyway; dispatch the inner message.
+            // Any other protected first message activates the context
+            // anyway and dispatches normally; every variant is named so
+            // a new EMM message fails to compile here instead of taking
+            // this path unseen.
+            other @ (EmmMessage::AttachRequest { .. }
+            | EmmMessage::AttachAccept { .. }
+            | EmmMessage::AttachComplete
+            | EmmMessage::AttachReject { .. }
+            | EmmMessage::ServiceRequest { .. }
+            | EmmMessage::ServiceReject { .. }
+            | EmmMessage::AuthenticationRequest { .. }
+            | EmmMessage::AuthenticationResponse { .. }
+            | EmmMessage::AuthenticationReject
+            | EmmMessage::AuthenticationFailure { .. }
+            | EmmMessage::SecurityModeComplete
+            | EmmMessage::SecurityModeReject { .. }
+            | EmmMessage::TauRequest { .. }
+            | EmmMessage::TauAccept { .. }
+            | EmmMessage::TauComplete
+            | EmmMessage::TauReject { .. }
+            | EmmMessage::DetachRequest { .. }
+            | EmmMessage::DetachAccept
+            | EmmMessage::EmmStatus { .. }) => {
                 self.sec = Some(sec);
                 self.dispatch(other)
             }
@@ -303,7 +324,19 @@ impl Ue {
                 }])
             }
             EmmMessage::EmmStatus { .. } => Ok(vec![]),
-            other => Err(NasError::Invalid {
+            // Uplink-only messages can never arrive on the downlink;
+            // named exhaustively so a new EMM message fails to compile
+            // here instead of being silently dropped.
+            other @ (EmmMessage::AttachRequest { .. }
+            | EmmMessage::AttachComplete
+            | EmmMessage::ServiceRequest { .. }
+            | EmmMessage::AuthenticationResponse { .. }
+            | EmmMessage::AuthenticationFailure { .. }
+            | EmmMessage::SecurityModeComplete
+            | EmmMessage::SecurityModeReject { .. }
+            | EmmMessage::TauRequest { .. }
+            | EmmMessage::TauComplete
+            | EmmMessage::DetachRequest { .. }) => Err(NasError::Invalid {
                 what: "unexpected downlink NAS at UE",
                 value: other.msg_type() as u64,
             }),
@@ -317,5 +350,20 @@ impl Ue {
         if self.state == UeState::Idle || self.state == UeState::Attaching {
             self.state = UeState::Active;
         }
+    }
+
+    /// Fold all behavior-steering UE state into `h` for model-checker
+    /// state dedup. Security keys are hashed by presence only: the key
+    /// material is a pure function of (imsi, rand) and never branches
+    /// the protocol, so folding it in would only shrink the dedup rate.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        self.imsi.hash(h);
+        (self.state as u8).hash(h);
+        self.guti.hash(h);
+        self.tai.hash(h);
+        (self.sec.is_some(), self.pending_keys.is_some()).hash(h);
+        self.sr_seq.hash(h);
+        self.pdn_addr.hash(h);
     }
 }

@@ -73,7 +73,169 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
             .replace('\\', "/");
         out.extend(rules::check_file(&rel, &src));
     }
+    out.extend(check_vendor_drift(root));
     out
+}
+
+/// Where the vendored-shim checksum manifest lives, relative to the
+/// workspace root.
+pub const VENDOR_MANIFEST: &str = "crates/lint/vendor-manifest.txt";
+
+/// FNV-1a 64-bit — deterministic content hash, no dependencies. Drift
+/// detection needs collision *accidents* to be unlikely, not
+/// adversarial resistance: anyone who can engineer a collision can
+/// also just edit the manifest.
+fn fnv1a64(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash every vendored shim under `root/vendor/`: one `(name, hex)`
+/// per shim directory, folding each file's repo-relative path and
+/// contents in sorted order (so the hash is independent of directory
+/// iteration order).
+pub fn vendor_shim_hashes(root: &Path) -> Vec<(String, String)> {
+    let vendor = root.join("vendor");
+    let Ok(entries) = std::fs::read_dir(&vendor) else {
+        return Vec::new();
+    };
+    let mut shims: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    shims.sort();
+    let mut out = Vec::new();
+    for shim in shims {
+        let mut files = Vec::new();
+        let mut stack = vec![shim.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    files.push(path);
+                }
+            }
+        }
+        files.sort();
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for file in &files {
+            let rel = file
+                .strip_prefix(&vendor)
+                .unwrap_or(file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            h = fnv1a64(h, rel.as_bytes());
+            if let Ok(bytes) = std::fs::read(file) {
+                h = fnv1a64(h, &bytes);
+            }
+        }
+        let name = shim
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        out.push((name, format!("{h:016x}")));
+    }
+    out
+}
+
+/// Render shim hashes in manifest form (`<name> <hex>` per line).
+/// `scale-lint --vendor-manifest` prints this; redirect it over
+/// [`VENDOR_MANIFEST`] after an *intentional* shim update.
+pub fn render_vendor_manifest(hashes: &[(String, String)]) -> String {
+    let mut out = String::from(
+        "# Checksums of the vendored shims (FNV-1a 64 over sorted file paths + contents).\n\
+         # Regenerate after an intentional shim change:\n\
+         #   cargo run -p scale-lint -- --vendor-manifest > crates/lint/vendor-manifest.txt\n",
+    );
+    for (name, hex) in hashes {
+        out.push_str(&format!("{name} {hex}\n"));
+    }
+    out
+}
+
+/// Compare a manifest text against freshly computed shim hashes. Pure,
+/// so the self-test can exercise every failure mode without touching
+/// the real tree. Violations point at the manifest file.
+pub fn compare_vendor_manifest(manifest: &str, actual: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut expected = Vec::new();
+    for (idx, line) in manifest.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next()) {
+            (Some(name), Some(hex)) => expected.push((idx + 1, name.to_string(), hex.to_string())),
+            _ => out.push(Violation {
+                path: VENDOR_MANIFEST.to_string(),
+                line: idx + 1,
+                rule: "vendor-drift",
+                message: format!("malformed manifest line `{line}` (want `<shim> <hex>`)"),
+            }),
+        }
+    }
+    for (line, name, hex) in &expected {
+        match actual.iter().find(|(n, _)| n == name) {
+            None => out.push(Violation {
+                path: VENDOR_MANIFEST.to_string(),
+                line: *line,
+                rule: "vendor-drift",
+                message: format!("manifest lists shim `{name}` but vendor/{name} does not exist"),
+            }),
+            Some((_, got)) if got != hex => out.push(Violation {
+                path: VENDOR_MANIFEST.to_string(),
+                line: *line,
+                rule: "vendor-drift",
+                message: format!(
+                    "vendor/{name} drifted from the manifest (recorded {hex}, actual {got}) — vendored shims are frozen; if the change is intentional, regenerate with `cargo run -p scale-lint -- --vendor-manifest`"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _) in actual {
+        if !expected.iter().any(|(_, n, _)| n == name) {
+            out.push(Violation {
+                path: VENDOR_MANIFEST.to_string(),
+                line: 1,
+                rule: "vendor-drift",
+                message: format!(
+                    "vendor/{name} is not in the manifest — add it with `cargo run -p scale-lint -- --vendor-manifest`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `vendor-drift`: the vendored shims must match the checked-in
+/// checksum manifest, so an edit to `vendor/` (which the source lints
+/// deliberately skip) cannot land silently.
+pub fn check_vendor_drift(root: &Path) -> Vec<Violation> {
+    let manifest_path = root.join(VENDOR_MANIFEST);
+    let manifest = match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => text,
+        Err(e) => {
+            return vec![Violation {
+                path: VENDOR_MANIFEST.to_string(),
+                line: 1,
+                rule: "vendor-drift",
+                message: format!("cannot read vendor manifest: {e}"),
+            }]
+        }
+    };
+    compare_vendor_manifest(&manifest, &vendor_shim_hashes(root))
 }
 
 /// Collect every statically-registered metric name in the workspace

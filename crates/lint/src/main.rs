@@ -51,6 +51,7 @@ const FIXTURES: &[(&str, &str, &str)] = &[
     ("sctplite_guard.rs", "crates/sctplite_fixture/src/sctplite_guard.rs", "await-guard"),
     ("wire_guard.rs", "crates/core_fixture/src/wire_guard.rs", "await-guard"),
     ("metric_names.rs", "crates/sctplite_fixture/src/metric_names.rs", "metric-name"),
+    ("protocol_match.rs", "crates/core_fixture/src/protocol_match.rs", "exhaustive-protocol-match"),
 ];
 
 fn run_self_test() -> ExitCode {
@@ -76,6 +77,40 @@ fn run_self_test() -> ExitCode {
             failed = true;
         } else {
             eprintln!("self-test: FAILED — {file} tripped unexpected rules: {stray:?}");
+            failed = true;
+        }
+    }
+    // vendor-drift is a workspace-level rule: exercise the comparison
+    // logic against a fixture manifest that records one drifted hash,
+    // one missing shim, and omits one present shim — all three failure
+    // modes must fire.
+    let drift_manifest = dir.join("vendor_drift_manifest.txt");
+    match std::fs::read_to_string(&drift_manifest) {
+        Ok(manifest) => {
+            let actual = vec![
+                ("goodshim".to_string(), "00000000deadbeef".to_string()),
+                ("driftedshim".to_string(), "00000000cafef00d".to_string()),
+                ("unlistedshim".to_string(), "0000000012345678".to_string()),
+            ];
+            let violations = scale_lint::compare_vendor_manifest(&manifest, &actual);
+            let drifted = violations.iter().any(|v| v.message.contains("driftedshim"));
+            let missing = violations.iter().any(|v| v.message.contains("ghostshim"));
+            let unlisted = violations.iter().any(|v| v.message.contains("unlistedshim"));
+            let clean_hit = violations.iter().any(|v| v.message.contains("goodshim"));
+            if drifted && missing && unlisted && !clean_hit {
+                println!(
+                    "self-test: vendor_drift_manifest.txt -> [vendor-drift] fires ({} hit(s))",
+                    violations.len()
+                );
+            } else {
+                eprintln!(
+                    "self-test: FAILED — vendor-drift fixture: drifted={drifted} missing={missing} unlisted={unlisted} clean_hit={clean_hit}: {violations:?}"
+                );
+                failed = true;
+            }
+        }
+        Err(e) => {
+            eprintln!("self-test: cannot read {}: {e}", drift_manifest.display());
             failed = true;
         }
     }
@@ -128,9 +163,24 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("--workspace") => run_workspace(),
         Some("--self-test") => run_self_test(),
+        Some("--vendor-manifest") => {
+            let Some(root) = find_workspace_root(&manifest_dir())
+                .or_else(|| std::env::current_dir().ok().and_then(|d| find_workspace_root(&d)))
+            else {
+                eprintln!("scale-lint: no workspace root found");
+                return ExitCode::FAILURE;
+            };
+            print!(
+                "{}",
+                scale_lint::render_vendor_manifest(&scale_lint::vendor_shim_hashes(&root))
+            );
+            ExitCode::SUCCESS
+        }
         Some(_) => lint_paths(&args),
         None => {
-            eprintln!("usage: scale-lint --workspace | --self-test | <file.rs>...");
+            eprintln!(
+                "usage: scale-lint --workspace | --self-test | --vendor-manifest | <file.rs>..."
+            );
             ExitCode::FAILURE
         }
     }

@@ -12,6 +12,8 @@
 //! | `nondet`      | no ambient time/randomness (`SystemTime::now`, `thread_rng`)|
 //! | `await-guard` | no blocking lock guard held across `.await` (sctplite)     |
 //! | `metric-name` | metric names follow `scale_<crate>_<noun>_<unit>`          |
+//! | `exhaustive-protocol-match` | no `_`/bare-binding arm where a sibling arm matches a protocol enum (`WireMsg`/`ShardMsg`/`EmmMessage`) |
+//! | `vendor-drift` | vendored shims must match the checked-in checksum manifest |
 
 use crate::scan::{parse_allow, Scanned, Scopes};
 use std::path::Path;
@@ -509,6 +511,196 @@ pub fn check_metric_names(
     }
 }
 
+/// Enum paths whose `match`es must stay exhaustive. These are the
+/// protocol vocabularies: a wildcard arm in a dispatch over one of
+/// them silently swallows whatever variant the next PR adds (the
+/// `WildcardSwallow` mutation in `scale-check::protocol` demonstrates
+/// the resulting stuck-session bug). Spelling the variants out turns
+/// "new message type, forgot a handler" into a compile error.
+const PROTOCOL_ENUMS: &[&str] = &["WireMsg::", "ShardMsg::", "EmmMessage::"];
+
+/// One parsed `match` arm: its pattern text and the 1-based line the
+/// pattern starts on.
+#[derive(Debug)]
+struct Arm {
+    pattern: String,
+    line: usize,
+}
+
+/// Parse the arms of every `match` expression in the masked source.
+/// Returns one `Vec<Arm>` per match. This is a bracket-depth scan, not
+/// a full parser, but masked text (strings/comments blanked) plus the
+/// fact that Rust forbids struct literals in scrutinee position makes
+/// it exact for rustfmt-shaped code: the first `{` at bracket depth
+/// zero after `match` opens the body, and `=>` at body depth separates
+/// pattern from value.
+fn match_arms(masked: &str) -> Vec<Vec<Arm>> {
+    let bytes = masked.as_bytes();
+    let line_of = |at: usize| masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut matches = Vec::new();
+    let mut i = 0;
+    while let Some(rel) = masked[i..].find("match") {
+        let kw = i + rel;
+        i = kw + 5;
+        // Keyword boundaries: `matches!`, `rematch` etc. don't count.
+        let prev_ok = kw == 0
+            || !matches!(bytes[kw - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.');
+        let next_ok = bytes
+            .get(kw + 5)
+            .is_some_and(|&b| b == b' ' || b == b'\n' || b == b'(');
+        if !prev_ok || !next_ok {
+            continue;
+        }
+        // Find the body-opening brace at bracket depth 0.
+        let mut depth = 0i32;
+        let mut j = kw + 5;
+        let body_open = loop {
+            match bytes.get(j) {
+                None => break None,
+                Some(b'(' | b'[') => depth += 1,
+                Some(b')' | b']') => depth -= 1,
+                Some(b'{') if depth == 0 => break Some(j),
+                Some(b'{') => depth += 1,
+                Some(b'}') => depth -= 1,
+                Some(b';') if depth == 0 => break None, // not a match expr
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else { continue };
+        // Parse arms at body depth.
+        let mut arms = Vec::new();
+        let mut j = open + 1;
+        'arms: loop {
+            // Skip whitespace and commas to the pattern start.
+            while bytes.get(j).is_some_and(|&b| b.is_ascii_whitespace() || b == b',') {
+                j += 1;
+            }
+            match bytes.get(j) {
+                None => break,
+                Some(b'}') => break,
+                _ => {}
+            }
+            let pat_start = j;
+            // Scan to `=>` at nested depth 0.
+            let mut depth = 0i32;
+            let arrow = loop {
+                match bytes.get(j) {
+                    None => break 'arms,
+                    Some(b'(' | b'[' | b'{') => depth += 1,
+                    Some(b')' | b']' | b'}') => depth -= 1,
+                    Some(b'=') if depth == 0 && bytes.get(j + 1) == Some(&b'>') => break j,
+                    _ => {}
+                }
+                j += 1;
+            };
+            arms.push(Arm {
+                pattern: masked[pat_start..arrow].trim().to_string(),
+                line: line_of(pat_start),
+            });
+            // Skip the arm value: a brace block, or up to the `,` / `}`
+            // closing the arm at body depth.
+            j = arrow + 2;
+            while bytes.get(j).is_some_and(|&b| b.is_ascii_whitespace()) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'{') {
+                let mut depth = 0i32;
+                loop {
+                    match bytes.get(j) {
+                        None => break 'arms,
+                        Some(b'{') => depth += 1,
+                        Some(b'}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                let mut depth = 0i32;
+                loop {
+                    match bytes.get(j) {
+                        None => break 'arms,
+                        Some(b'(' | b'[' | b'{') => depth += 1,
+                        Some(b')' | b']') => depth -= 1,
+                        Some(b'}') if depth == 0 => break, // body close
+                        Some(b'}') => depth -= 1,
+                        Some(b',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        if !arms.is_empty() {
+            matches.push(arms);
+        }
+        // `i` stays just past the keyword, so nested matches inside arm
+        // bodies are found by the outer loop on its next iteration.
+    }
+    matches
+}
+
+/// Is this pattern a silent catch-all: `_`, or a bare lowercase
+/// binding (`other`, `mut x`, `ref y`) that swallows every remaining
+/// variant without naming any? Bindings that spell the variants out
+/// (`other @ (Enum::A | Enum::B)`) are fine and don't match here.
+fn is_catch_all(pattern: &str) -> bool {
+    // A guard doesn't make the arm name its variants.
+    let pat = pattern.split(" if ").next().unwrap_or(pattern).trim();
+    let pat = pat.trim_start_matches("ref ").trim_start_matches("mut ").trim();
+    pat == "_"
+        || (!pat.is_empty()
+            && pat != "true"
+            && pat != "false"
+            && pat.chars().next().is_some_and(|c| c.is_ascii_lowercase() || c == '_')
+            && pat.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+}
+
+/// `exhaustive-protocol-match`: in non-test code, a `match` with an
+/// arm mentioning a protocol enum (`PROTOCOL_ENUMS`) must not also
+/// have a `_`/bare-binding catch-all arm.
+pub fn check_protocol_match(
+    path: &str,
+    kind: FileKind,
+    scanned: &Scanned,
+    scopes: &Scopes,
+    out: &mut Vec<Violation>,
+) {
+    if !matches!(kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    for arms in match_arms(&scanned.masked) {
+        let Some(proto) = PROTOCOL_ENUMS
+            .iter()
+            .find(|e| arms.iter().any(|a| a.pattern.contains(*e)))
+        else {
+            continue;
+        };
+        let enum_name = proto.trim_end_matches(':');
+        for arm in &arms {
+            if is_catch_all(&arm.pattern)
+                && !suppressed(scanned, scopes, arm.line, "exhaustive-protocol-match")
+            {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: arm.line,
+                    rule: "exhaustive-protocol-match",
+                    message: format!(
+                        "catch-all arm `{}` in a match over `{enum_name}` — name every variant (or bind with `x @ (A | B | ...)`) so adding a message type is a compile error, not a silently swallowed message",
+                        arm.pattern
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Run every rule over one file.
 pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     let scanned = crate::scan::scan(src);
@@ -521,5 +713,6 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
     check_nondet(path, &scanned, &scopes, &mut out);
     check_await_guard(path, &scanned, &scopes, &mut out);
     check_metric_names(path, kind, &scanned, &scopes, &mut out);
+    check_protocol_match(path, kind, &scanned, &scopes, &mut out);
     out
 }

@@ -229,6 +229,46 @@ impl MmeCore {
         self.contexts.get(&guti.m_tmsi)
     }
 
+    /// Hash the engine's behavior-relevant state into `h` — every
+    /// context (including the transient procedure fields that
+    /// `UeContext::to_bytes` deliberately omits), the pending-response
+    /// tables and the id allocators. `stats` and the per-epoch access
+    /// counters are excluded: they never steer future message handling,
+    /// and folding monotone counters in would defeat the protocol model
+    /// checker's visited-set dedup.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        let mut keys: Vec<u32> = self.contexts.keys().copied().collect();
+        keys.sort_unstable();
+        for m_tmsi in keys {
+            let ctx = &self.contexts[&m_tmsi];
+            m_tmsi.hash(h);
+            ctx.to_bytes().as_ref().hash(h);
+            // Transient fields absent from the replication
+            // serialization still steer the live engine.
+            (ctx.ecm as u8, ctx.procedure as u8).hash(h);
+            (ctx.enb_ue_id, ctx.enb_id).hash(h);
+            ctx.pending_xres.hash(h);
+            ctx.pending_kasme.hash(h);
+        }
+        (self.next_m_tmsi, self.next_local_id, self.s11_seq, self.s6a_hbh).hash(h);
+        let mut s11: Vec<(u32, u32)> = self.pending_s11.iter().map(|(&k, &v)| (k, v)).collect();
+        s11.sort_unstable();
+        s11.hash(h);
+        let mut s6a: Vec<(u32, u32)> = self.pending_s6a.iter().map(|(&k, &v)| (k, v)).collect();
+        s6a.sort_unstable();
+        s6a.hash(h);
+        let mut ho: Vec<(u32, (u32, u32))> =
+            self.pending_ho.iter().map(|(&k, &v)| (k, v)).collect();
+        ho.sort_unstable();
+        ho.hash(h);
+        let mut flags: Vec<(u32, (bool, bool))> =
+            self.attach_done_flags.iter().map(|(&k, &v)| (k, v)).collect();
+        flags.sort_unstable();
+        flags.hash(h);
+        self.guti_hint.hash(h);
+    }
+
     /// M-TMSI of the device this engine indexes under a composed
     /// MME-UE-S1AP-ID, if it holds (a copy of) that context. Used by
     /// the MLB to find a replica to promote when the serving MMP
@@ -483,7 +523,25 @@ impl MmeCore {
                 };
                 self.detach(enb_id, enb_ue_id, m_tmsi, switch_off)
             }
-            other => Err(MmeError::BadState(format!(
+            // Downlink-only and mid-procedure messages can never open a
+            // signalling connection; each is named so a new EMM message
+            // fails to compile here instead of being silently rejected.
+            other @ (EmmMessage::AttachAccept { .. }
+            | EmmMessage::AttachComplete
+            | EmmMessage::AttachReject { .. }
+            | EmmMessage::ServiceReject { .. }
+            | EmmMessage::AuthenticationRequest { .. }
+            | EmmMessage::AuthenticationResponse { .. }
+            | EmmMessage::AuthenticationReject
+            | EmmMessage::AuthenticationFailure { .. }
+            | EmmMessage::SecurityModeCommand { .. }
+            | EmmMessage::SecurityModeComplete
+            | EmmMessage::SecurityModeReject { .. }
+            | EmmMessage::TauAccept { .. }
+            | EmmMessage::TauComplete
+            | EmmMessage::TauReject { .. }
+            | EmmMessage::DetachAccept
+            | EmmMessage::EmmStatus { .. }) => Err(MmeError::BadState(format!(
                 "unexpected initial NAS: {other:?}"
             ))),
         }
@@ -809,7 +867,23 @@ impl MmeCore {
                 ctx.emm = EmmState::Deregistered;
                 Ok(vec![])
             }
-            other => Err(MmeError::BadState(format!(
+            // Initial-only and downlink-only messages are protocol
+            // errors on an established connection; named exhaustively
+            // so a new EMM message fails to compile here.
+            other @ (EmmMessage::AttachRequest { .. }
+            | EmmMessage::AttachAccept { .. }
+            | EmmMessage::AttachReject { .. }
+            | EmmMessage::ServiceRequest { .. }
+            | EmmMessage::ServiceReject { .. }
+            | EmmMessage::AuthenticationRequest { .. }
+            | EmmMessage::AuthenticationReject
+            | EmmMessage::SecurityModeCommand { .. }
+            | EmmMessage::SecurityModeReject { .. }
+            | EmmMessage::TauAccept { .. }
+            | EmmMessage::TauComplete
+            | EmmMessage::TauReject { .. }
+            | EmmMessage::DetachAccept
+            | EmmMessage::EmmStatus { .. }) => Err(MmeError::BadState(format!(
                 "unexpected uplink NAS: {other:?}"
             ))),
         }

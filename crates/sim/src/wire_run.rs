@@ -477,7 +477,16 @@ pub fn run_enb(cfg: &WireRunConfig, cell: usize, addr: &str) -> i32 {
                 WireMsg::ToEnb { pdu, .. } => emu.handle_downlink(pdu),
                 WireMsg::Settled { m_tmsi, active } => emu.settled(m_tmsi, active),
                 WireMsg::ProcFailed { m_tmsi } => emu.proc_failed(m_tmsi),
-                _ => {}
+                // MLB/fabric-internal traffic never reaches an eNodeB;
+                // named exhaustively so a new wire message fails to
+                // compile here instead of being silently dropped.
+                WireMsg::Hello { .. }
+                | WireMsg::Uplink { .. }
+                | WireMsg::Deliver { .. }
+                | WireMsg::Replicate { .. }
+                | WireMsg::DropCtx { .. }
+                | WireMsg::VmDown { .. }
+                | WireMsg::VmUp { .. } => {}
             },
             Ok(LinkIn::Down) | Err(RecvTimeoutError::Disconnected) => {
                 link_down = true;
@@ -628,7 +637,7 @@ fn mlb_link_loop(sh: SctpSendHalf, mut rh: SctpRecvHalf, tx: Sender<RouterEvent>
     let (role, id) = match tokio::runtime::block_on(rh.next_event()) {
         Ok(StreamEvent::Data { payload, .. }) => match WireMsg::decode(payload) {
             Ok(WireMsg::Hello { role, id }) => (role, id as usize),
-            _ => {
+            Ok(_) | Err(_) => {
                 eprintln!("mlb: link did not start with Hello; dropping");
                 return;
             }
@@ -1252,7 +1261,16 @@ pub fn run_shuttle(cfg: &WireRunConfig) -> WireCounts {
                     WireMsg::ToEnb { pdu, .. } => emu.handle_downlink(pdu),
                     WireMsg::Settled { m_tmsi, active } => emu.settled(m_tmsi, active),
                     WireMsg::ProcFailed { m_tmsi } => emu.proc_failed(m_tmsi),
-                    _ => {}
+                    // MLB/fabric-internal traffic never reaches an
+                    // eNodeB; named exhaustively so a new wire message
+                    // fails to compile here instead of being dropped.
+                    WireMsg::Hello { .. }
+                    | WireMsg::Uplink { .. }
+                    | WireMsg::Deliver { .. }
+                    | WireMsg::Replicate { .. }
+                    | WireMsg::DropCtx { .. }
+                    | WireMsg::VmDown { .. }
+                    | WireMsg::VmUp { .. } => {}
                 }
                 drain_emu(emu, enb, &mut queue);
             }
